@@ -1,0 +1,98 @@
+// Command turbo-datagen generates a synthetic deposit-free-leasing world
+// (the stand-in for the proprietary Jimi dataset, see DESIGN.md §2) and
+// writes it to JSONL files: logs.jsonl with the behavior logs and
+// users.jsonl with per-user features and labels.
+//
+// Usage:
+//
+//	turbo-datagen -preset default -out ./data
+//	turbo-datagen -preset tiny -users 500 -seed 7 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("turbo-datagen: ")
+
+	preset := flag.String("preset", "default", "dataset preset: default, tiny, d1, d2")
+	users := flag.Int("users", 0, "override user count")
+	seed := flag.Uint64("seed", 0, "override RNG seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	cfg, err := presetConfig(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	d := datagen.Generate(cfg)
+	log.Printf("generated %q: %d users (%d positives), %d logs in %v",
+		cfg.Name, len(d.Users), d.Positives(), len(d.Logs), time.Since(start))
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLogs(filepath.Join(*out, "logs.jsonl"), d.Logs); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeUsers(filepath.Join(*out, "users.jsonl"), d); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s and %s", filepath.Join(*out, "logs.jsonl"), filepath.Join(*out, "users.jsonl"))
+}
+
+func presetConfig(name string) (datagen.Config, error) {
+	switch name {
+	case "default":
+		return datagen.Default(), nil
+	case "tiny":
+		return datagen.Tiny(), nil
+	case "d1":
+		return datagen.D1Full(), nil
+	case "d2":
+		return datagen.D2(0), nil
+	}
+	return datagen.Config{}, fmt.Errorf("unknown preset %q (want default, tiny, d1, d2)", name)
+}
+
+func writeLogs(path string, logs []behavior.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := behavior.WriteJSONL(f, logs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeUsers(path string, d *datagen.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := datagen.WriteUsersJSONL(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}

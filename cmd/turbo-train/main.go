@@ -1,0 +1,162 @@
+// Command turbo-train assembles a dataset, trains one of the paper's
+// models, reports its test-split metrics, and optionally saves the
+// trained parameters.
+//
+// Usage:
+//
+//	turbo-train -preset default -model hag -epochs 120 -save hag.model
+//	turbo-train -preset tiny -model gsage
+//	turbo-train -preset default -model gbdt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"path/filepath"
+
+	"turbo/internal/baselines"
+	"turbo/internal/behavior"
+	"turbo/internal/datagen"
+	"turbo/internal/eval"
+	"turbo/internal/gnn"
+	"turbo/internal/metrics"
+	"turbo/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("turbo-train: ")
+
+	preset := flag.String("preset", "default", "dataset preset: default, tiny, d1, d2")
+	dataDir := flag.String("data", "", "load logs.jsonl/users.jsonl from this directory instead of generating")
+	model := flag.String("model", "hag", "model: hag, sao-, cfo-, both-, gcn, gsage, gat, lr, svm, gbdt, dnn, blp, dtx1, dtx2")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = harness default)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	paper := flag.Bool("paper-hyper", false, "use the paper's §VI-A layer sizes (slower)")
+	save := flag.String("save", "", "save trained GNN/HAG parameters to this file")
+	flag.Parse()
+
+	h := eval.DefaultHyper()
+	if *paper {
+		h = eval.PaperHyper()
+	}
+	if *epochs > 0 {
+		h.Epochs = *epochs
+	}
+
+	start := time.Now()
+	var a *eval.Assembled
+	if *dataDir != "" {
+		data, err := loadDataset(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a = eval.AssembleDataset(data, eval.AssembleOptions{SplitSeed: *seed})
+	} else {
+		cfg, err := presetConfig(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a = eval.Assemble(cfg, eval.AssembleOptions{SplitSeed: *seed})
+	}
+	log.Printf("assembled %q in %v: %d nodes, %d edges, %d positives",
+		a.Data.Config.Name, time.Since(start), a.Graph.NumNodes(), a.Graph.NumEdges(), a.Data.Positives())
+
+	start = time.Now()
+	report, trained, err := runModel(a, strings.ToLower(*model), h, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s trained in %v", *model, time.Since(start))
+	fmt.Println(report)
+
+	if *save != "" {
+		if trained == nil {
+			log.Fatalf("-save is only supported for GNN/HAG models")
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := nn.SaveState(f, trained); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %d parameters to %s", nn.ParamCount(trained), *save)
+	}
+}
+
+// loadDataset reads a directory produced by turbo-datagen.
+func loadDataset(dir string) (*datagen.Dataset, error) {
+	lf, err := os.Open(filepath.Join(dir, "logs.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	logs, err := behavior.ReadJSONL(lf)
+	if err != nil {
+		return nil, err
+	}
+	uf, err := os.Open(filepath.Join(dir, "users.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer uf.Close()
+	users, err := datagen.ReadUsersJSONL(uf)
+	if err != nil {
+		return nil, err
+	}
+	return datagen.FromParts(filepath.Base(dir), users, logs)
+}
+
+func presetConfig(name string) (datagen.Config, error) {
+	switch name {
+	case "default":
+		return datagen.Default(), nil
+	case "tiny":
+		return datagen.Tiny(), nil
+	case "d1":
+		return datagen.D1Full(), nil
+	case "d2":
+		return datagen.D2(0), nil
+	}
+	return datagen.Config{}, fmt.Errorf("unknown preset %q", name)
+}
+
+func runModel(a *eval.Assembled, model string, h eval.Hyper, seed uint64) (metrics.Report, nn.Module, error) {
+	switch model {
+	case "hag", "sao-", "cfo-", "both-":
+		v := map[string]eval.HAGVariant{
+			"hag": eval.HAGFull, "sao-": eval.HAGNoSAO, "cfo-": eval.HAGNoCFO, "both-": eval.HAGNeither,
+		}[model]
+		m, b := eval.TrainHAG(a, v, h, seed)
+		scores := gnn.Scores(m, b)
+		return metrics.Evaluate(a.ScoresAt(scores), a.TestLabels(), h.Threshold), m, nil
+	case "gcn":
+		return eval.RunGNN(a, eval.KindGCN, h, seed), nil, nil
+	case "gsage":
+		return eval.RunGNN(a, eval.KindSAGE, h, seed), nil, nil
+	case "gat":
+		return eval.RunGNN(a, eval.KindGAT, h, seed), nil, nil
+	case "lr":
+		return eval.RunFeatureModel(a, &baselines.LogisticRegression{Balance: true}, h), nil, nil
+	case "svm":
+		return eval.RunFeatureModel(a, &baselines.LinearSVM{Balance: true, Seed: seed}, h), nil, nil
+	case "gbdt":
+		return eval.RunFeatureModel(a, &baselines.GBDT{Balance: true, Seed: seed}, h), nil, nil
+	case "dnn":
+		return eval.RunFeatureModel(a, &baselines.DNN{Balance: true, Seed: seed}, h), nil, nil
+	case "blp":
+		return eval.RunBLP(a, h, seed), nil, nil
+	case "dtx1":
+		return eval.RunDTX(a, false, h, seed), nil, nil
+	case "dtx2":
+		return eval.RunDTX(a, true, h, seed), nil, nil
+	}
+	return metrics.Report{}, nil, fmt.Errorf("unknown model %q", model)
+}

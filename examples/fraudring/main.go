@@ -1,0 +1,59 @@
+// Fraud-ring case study (the Fig. 9 scenario): train HAG on a synthetic
+// world, pick the most suspicious fraud node, visualize its computation
+// subgraph as Graphviz DOT, and print the influence-distribution heat
+// map showing that fraud nodes influence each other more than background
+// pairs.
+//
+//	go run ./examples/fraudring > ring.dot-and-heatmap.txt
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"turbo/internal/datagen"
+	"turbo/internal/eval"
+	"turbo/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := datagen.Tiny()
+	cfg.Seed = 99
+	a := eval.Assemble(cfg, eval.AssembleOptions{})
+	fmt.Printf("world: %d users, %d fraud, BN %d edges\n",
+		len(a.Data.Users), a.Data.Positives(), a.Graph.NumEdges())
+
+	h := eval.Hyper{Hidden: []int{16, 8}, AttHidden: 8, MLPHidden: 8, Epochs: 60, LR: 1e-2}
+	cs := eval.RunCaseStudy(a, h, 1, 5)
+
+	// The influence heat map of Definition 1 (Fig. 9b): columns are
+	// nodes; fraud-to-fraud influence should exceed the background.
+	fmt.Println()
+	fmt.Print(cs.String())
+
+	intra, background := cs.MeanIntraFraudInfluence()
+	if intra > background {
+		fmt.Printf("\n✓ fraud nodes influence each other %.1f× more than background pairs\n",
+			intra/background)
+	}
+
+	// Graphviz rendering of the ring neighborhood (Fig. 9a).
+	f, err := os.Create("ring.dot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	classOf := func(n graph.NodeID) int {
+		if a.Bools[int(n)] {
+			return 1
+		}
+		return 0
+	}
+	if err := cs.Subgraph.WriteDOT(f, "fraud-ring", classOf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote ring.dot — render with: dot -Tpng ring.dot -o ring.png")
+}

@@ -1,0 +1,51 @@
+// Quickstart: generate a small synthetic leasing world, build the
+// behavior network, train HAG, and score a few applications.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turbo/internal/datagen"
+	"turbo/internal/eval"
+	"turbo/internal/gnn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a synthetic world: users, fraud rings, behavior logs.
+	cfg := datagen.Tiny()
+	fmt.Printf("generating %q: %d users…\n", cfg.Name, cfg.Users)
+
+	// 2. Assemble: behavior store → BN (Algorithm 1) → features → split.
+	a := eval.Assemble(cfg, eval.AssembleOptions{})
+	fmt.Printf("BN: %d nodes, %d edges across %d behavior types\n",
+		a.Graph.NumNodes(), a.Graph.NumEdges(), a.Graph.NumEdgeTypes())
+
+	// 3. Train HAG (SAO + CFO) on the training split.
+	h := eval.Hyper{Hidden: []int{24, 12}, AttHidden: 12, MLPHidden: 8, Epochs: 120, LR: 1e-2}
+	model, batch := eval.TrainHAG(a, eval.HAGFull, h, 1)
+
+	// 4. Evaluate on the held-out 20%.
+	scores := gnn.Scores(model, batch)
+	report := a.EvaluateScores(scores, 0.5)
+	fmt.Printf("test split: %v\n", report)
+
+	// 5. Score a few individual applications.
+	fmt.Println("\nsample predictions:")
+	shown := 0
+	for i := range a.Data.Users {
+		u := &a.Data.Users[i]
+		if !u.Fraud && shown%2 == 0 {
+			continue // alternate fraud/normal for the demo
+		}
+		fmt.Printf("  user %4d  fraud=%-5v  P(fraud)=%.3f\n", u.ID, u.Fraud, scores[i])
+		shown++
+		if shown >= 6 {
+			break
+		}
+	}
+}

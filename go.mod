@@ -1,0 +1,3 @@
+module turbo
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// dense matrices. Every model in this repository (HAG, GCN, GraphSAGE,
+// GAT, DNN, LR) is expressed as a computation over *Node values recorded
+// on a *Tape; calling Tape.Backward propagates exact gradients back to
+// every parameter leaf.
+//
+// The design is a classic dynamic tape: each operation appends a node with
+// a backward closure, and Backward runs the closures in reverse order of
+// creation. Nodes that cannot reach a gradient-requiring leaf skip
+// gradient allocation entirely.
+package autodiff
+
+import (
+	"fmt"
+
+	"turbo/internal/tensor"
+)
+
+// Node is one value in the recorded computation graph.
+type Node struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+
+	tape         *Tape
+	requiresGrad bool
+	backward     func()
+}
+
+// Tape records operations so Backward can replay them in reverse.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset drops all recorded nodes so the tape can be reused. Parameter
+// leaves must be re-registered (via Param) after a reset.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes, useful in tests.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) add(n *Node) *Node {
+	n.tape = t
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const records a value that does not require gradients.
+func (t *Tape) Const(v *tensor.Matrix) *Node {
+	return t.add(&Node{Value: v})
+}
+
+// Param records a trainable leaf. Its Grad is allocated lazily by
+// Backward and accumulated across calls until zeroed by the optimizer.
+func (t *Tape) Param(v *tensor.Matrix) *Node {
+	return t.add(&Node{Value: v, requiresGrad: true})
+}
+
+// Leaf records a gradient-requiring node whose gradient accumulates into
+// the caller-owned buffer grad. This is how persistent model parameters
+// are attached to a fresh tape each forward pass: the tape is discarded
+// after Backward but the gradient lands in the parameter's own buffer.
+func (t *Tape) Leaf(v, grad *tensor.Matrix) *Node {
+	if !v.SameShape(grad) {
+		panic("autodiff: Leaf value/grad shape mismatch")
+	}
+	return t.add(&Node{Value: v, Grad: grad, requiresGrad: true})
+}
+
+func (n *Node) ensureGrad() *tensor.Matrix {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// Shape returns (rows, cols) of the node's value.
+func (n *Node) Shape() (int, int) { return n.Value.Rows, n.Value.Cols }
+
+// Scalar returns the single element of a 1×1 node.
+func (n *Node) Scalar() float64 {
+	if n.Value.Rows != 1 || n.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Scalar on %dx%d node", n.Value.Rows, n.Value.Cols))
+	}
+	return n.Value.Data[0]
+}
+
+// Backward seeds the given output node with gradient 1 and propagates
+// gradients to every reachable leaf. The output must be scalar (1×1)
+// unless an explicit seed is supplied via BackwardWithSeed.
+func (t *Tape) Backward(out *Node) {
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		panic("autodiff: Backward requires a scalar output; use BackwardWithSeed")
+	}
+	seed := tensor.New(1, 1)
+	seed.Data[0] = 1
+	t.BackwardWithSeed(out, seed)
+}
+
+// BackwardWithSeed propagates gradients starting from an arbitrary seed
+// gradient of the same shape as out's value.
+func (t *Tape) BackwardWithSeed(out *Node, seed *tensor.Matrix) {
+	if !out.Value.SameShape(seed) {
+		panic("autodiff: seed shape mismatch")
+	}
+	out.ensureGrad().AddInPlace(seed)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// ZeroGrads clears the gradients of the provided parameter nodes.
+func ZeroGrads(params []*Node) {
+	for _, p := range params {
+		if p.Grad != nil {
+			p.Grad.Zero()
+		}
+	}
+}

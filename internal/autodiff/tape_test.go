@@ -1,0 +1,183 @@
+package autodiff
+
+import (
+	"testing"
+
+	"turbo/internal/tensor"
+)
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	tp := NewTape()
+	x := tp.Param(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar Backward")
+		}
+	}()
+	tp.Backward(x)
+}
+
+func TestConstGetsNoGradient(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.FromRows([][]float64{{1, 2}}))
+	p := tp.Param(tensor.FromRows([][]float64{{3}, {4}}))
+	out := tp.SumAll(tp.MatMul(c, p))
+	tp.Backward(out)
+	if c.Grad != nil {
+		t.Fatal("const received a gradient buffer")
+	}
+	if p.Grad == nil || p.Grad.Data[0] != 1 || p.Grad.Data[1] != 2 {
+		t.Fatalf("param grad wrong: %v", p.Grad)
+	}
+}
+
+func TestGradAccumulatesAcrossBackwardCalls(t *testing.T) {
+	v := tensor.FromRows([][]float64{{2}})
+	g := tensor.New(1, 1)
+	for i := 0; i < 3; i++ {
+		tp := NewTape()
+		x := tp.Leaf(v, g)
+		tp.Backward(tp.Scale(x, 5))
+	}
+	if g.Data[0] != 15 {
+		t.Fatalf("grad should accumulate to 15, got %v", g.Data[0])
+	}
+}
+
+func TestDiamondGraphAccumulation(t *testing.T) {
+	// y = x*x + x*x through two separate paths: dy/dx = 4x.
+	v := tensor.FromRows([][]float64{{3}})
+	g := tensor.New(1, 1)
+	tp := NewTape()
+	x := tp.Leaf(v, g)
+	a := tp.Mul(x, x)
+	b := tp.Mul(x, x)
+	tp.Backward(tp.SumAll(tp.Add(a, b)))
+	if g.Data[0] != 12 {
+		t.Fatalf("diamond grad: want 12, got %v", g.Data[0])
+	}
+}
+
+func TestLeafShapeMismatchPanics(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp.Leaf(tensor.New(2, 2), tensor.New(1, 2))
+}
+
+func TestBackwardWithSeed(t *testing.T) {
+	v := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	g := tensor.New(2, 2)
+	tp := NewTape()
+	x := tp.Leaf(v, g)
+	y := tp.Scale(x, 3)
+	seed := tensor.FromRows([][]float64{{1, 0}, {0, 2}})
+	tp.BackwardWithSeed(y, seed)
+	want := tensor.FromRows([][]float64{{3, 0}, {0, 6}})
+	if !g.Equal(want, 0) {
+		t.Fatalf("seeded grad: %v", g)
+	}
+}
+
+func TestTapeResetAndLen(t *testing.T) {
+	tp := NewTape()
+	tp.Const(tensor.New(1, 1))
+	tp.Const(tensor.New(1, 1))
+	if tp.Len() != 2 {
+		t.Fatalf("len %d", tp.Len())
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatalf("len after reset %d", tp.Len())
+	}
+}
+
+func TestDropoutEvalModeIsIdentity(t *testing.T) {
+	tp := NewTape()
+	x := tp.Const(tensor.FromRows([][]float64{{1, 2, 3}}))
+	if tp.Dropout(x, 0.5, nil) != x {
+		t.Fatal("nil rng must return input unchanged")
+	}
+	if tp.Dropout(x, 0, tensor.NewRNG(1)) != x {
+		t.Fatal("rate 0 must return input unchanged")
+	}
+}
+
+func TestDropoutScalesKeptUnits(t *testing.T) {
+	tp := NewTape()
+	x := tp.Const(tensor.FromRows([][]float64{{1, 1, 1, 1, 1, 1, 1, 1}}))
+	d := tp.Dropout(x, 0.5, tensor.NewRNG(3))
+	for _, v := range d.Value.Data {
+		if v != 0 && v != 2 {
+			t.Fatalf("inverted dropout value should be 0 or 1/(1-rate): %v", v)
+		}
+	}
+}
+
+func TestBCEWithLogitsKnownValue(t *testing.T) {
+	tp := NewTape()
+	logits := tp.Const(tensor.FromRows([][]float64{{0}, {0}}))
+	loss := tp.BCEWithLogits(logits, []float64{1, 0})
+	// -log(0.5) for both examples.
+	want := 0.6931471805599453
+	if got := loss.Scalar(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("bce at 0 logits: %v", got)
+	}
+}
+
+func TestBCEWithLogitsValidatesShapes(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp.BCEWithLogits(tp.Const(tensor.New(2, 2)), []float64{1, 0})
+}
+
+func TestSegmentSoftmaxUncoveredRowsAreZero(t *testing.T) {
+	tp := NewTape()
+	x := tp.Const(tensor.FromRows([][]float64{{1}, {2}, {3}}))
+	s := tp.SegmentSoftmax(x, [][]int{{0, 1}})
+	if s.Value.Data[2] != 0 {
+		t.Fatalf("uncovered row should be 0, got %v", s.Value.Data[2])
+	}
+	sum := s.Value.Data[0] + s.Value.Data[1]
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("segment should sum to 1: %v", sum)
+	}
+}
+
+func TestCSRMatMulKnownValues(t *testing.T) {
+	csr := NewCSR(2, 3, [][]int{{0, 2}, {1}}, [][]float64{{1, 2}, {3}})
+	h := tensor.FromRows([][]float64{{1, 0}, {0, 1}, {2, 2}})
+	got := csr.MatMul(h)
+	want := tensor.FromRows([][]float64{{5, 4}, {0, 3}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("csr matmul: %v", got)
+	}
+	if csr.NNZ() != 3 {
+		t.Fatalf("nnz %d", csr.NNZ())
+	}
+}
+
+func TestCSRMatMulTransMatchesDense(t *testing.T) {
+	csr := NewCSR(3, 4,
+		[][]int{{0, 1}, {2, 3}, {1}},
+		[][]float64{{0.5, 1.5}, {2, 1}, {1}})
+	dense := tensor.New(3, 4)
+	for i := 0; i < 3; i++ {
+		for p := csr.RowPtr[i]; p < csr.RowPtr[i+1]; p++ {
+			dense.Set(i, csr.ColIdx[p], csr.Weights[p])
+		}
+	}
+	g := tensor.RandNormal(3, 2, 1, tensor.NewRNG(5))
+	got := csr.MatMulTrans(g)
+	want := dense.MatMulTransA(g)
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("csr transpose product differs from dense")
+	}
+}

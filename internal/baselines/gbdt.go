@@ -1,0 +1,142 @@
+package baselines
+
+import (
+	"math"
+
+	"turbo/internal/tensor"
+)
+
+// GBDT is gradient-boosted regression trees on the logistic loss with
+// second-order leaf values (the LightGBM stand-in for both the GBDT
+// baseline and BLP's classifier).
+type GBDT struct {
+	Trees         int     // 0 selects 120
+	LearningRate  float64 // 0 selects 0.1
+	MaxDepth      int     // 0 selects 4
+	MinLeaf       int     // 0 selects 8
+	Lambda        float64 // 0 selects 1.0
+	Subsample     float64 // 0 selects 0.8
+	FeatureSample float64 // 0 selects 0.9
+	Balance       bool    // weight positives by class ratio
+	Seed          uint64
+
+	base  float64
+	trees []*regressionTree
+	lr    float64
+}
+
+// Name implements Classifier.
+func (m *GBDT) Name() string { return "GBDT" }
+
+func (m *GBDT) withDefaults() {
+	if m.Trees == 0 {
+		m.Trees = 120
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.1
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = 4
+	}
+	if m.MinLeaf == 0 {
+		m.MinLeaf = 8
+	}
+	if m.Lambda == 0 {
+		m.Lambda = 1
+	}
+	if m.Subsample == 0 {
+		m.Subsample = 0.8
+	}
+	if m.FeatureSample == 0 {
+		m.FeatureSample = 0.9
+	}
+	if m.Seed == 0 {
+		m.Seed = 11
+	}
+}
+
+// Fit implements Classifier.
+func (m *GBDT) Fit(x *tensor.Matrix, y []float64) {
+	m.withDefaults()
+	m.lr = m.LearningRate
+	rng := tensor.NewRNG(m.Seed)
+	n := x.Rows
+
+	posW, negW := 1.0, 1.0
+	if m.Balance {
+		posW, negW = classWeights(y)
+	}
+	w := make([]float64, n)
+	var posSum, totSum float64
+	for i := range w {
+		if y[i] > 0.5 {
+			w[i] = posW
+			posSum += posW
+		} else {
+			w[i] = negW
+		}
+		totSum += w[i]
+	}
+	// Base score: weighted log-odds prior.
+	p0 := tensor.Clamp(posSum/totSum, 1e-6, 1-1e-6)
+	m.base = math.Log(p0 / (1 - p0))
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.base
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	m.trees = m.trees[:0]
+	for t := 0; t < m.Trees; t++ {
+		for i := 0; i < n; i++ {
+			p := tensor.SigmoidScalar(pred[i])
+			g[i] = w[i] * (p - y[i])
+			h[i] = w[i] * p * (1 - p)
+		}
+		idx := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if m.Subsample >= 1 || rng.Float64() < m.Subsample {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2*m.MinLeaf {
+			idx = idx[:0]
+			for i := 0; i < n; i++ {
+				idx = append(idx, i)
+			}
+		}
+		tree := fitTree(x, g, h, idx, treeParams{
+			maxDepth:      m.MaxDepth,
+			minLeaf:       m.MinLeaf,
+			lambda:        m.Lambda,
+			featureSample: m.FeatureSample,
+			rng:           rng,
+		})
+		m.trees = append(m.trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += m.lr * tree.predict(x.Row(i))
+		}
+	}
+}
+
+// PredictProba implements Classifier.
+func (m *GBDT) PredictProba(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = tensor.SigmoidScalar(m.RawScore(x.Row(i)))
+	}
+	return out
+}
+
+// RawScore returns the pre-sigmoid margin of one feature row.
+func (m *GBDT) RawScore(row []float64) float64 {
+	s := m.base
+	for _, t := range m.trees {
+		s += m.lr * t.predict(row)
+	}
+	return s
+}
+
+// NumTrees returns how many trees were fit.
+func (m *GBDT) NumTrees() int { return len(m.trees) }

@@ -1,0 +1,225 @@
+// Package baselines implements the comparison methods of §VI-A: the
+// handcrafted-feature classifiers (LR, SVM, GBDT, DNN) and the
+// graph-based approaches BLP (graph features + boosted trees) and
+// DeepTrax (DeepWalk-style embeddings + boosted trees).
+package baselines
+
+import (
+	"math"
+
+	"turbo/internal/tensor"
+)
+
+// Classifier is a binary classifier over dense feature rows.
+type Classifier interface {
+	Name() string
+	Fit(x *tensor.Matrix, y []float64)
+	// PredictProba returns a fraud probability per row of x.
+	PredictProba(x *tensor.Matrix) []float64
+}
+
+// LogisticRegression is plain L2-regularized logistic regression trained
+// with full-batch gradient descent. Without Balance it stays
+// conservative on imbalanced data (high precision, low recall at 0.5),
+// like the paper's feature-based baselines.
+type LogisticRegression struct {
+	Epochs  int     // 0 selects 300
+	LR      float64 // 0 selects 0.1
+	L2      float64 // 0 selects 1e-4
+	Balance bool    // weight positives by the class ratio
+
+	w []float64
+	b float64
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(x *tensor.Matrix, y []float64) {
+	epochs, lr, l2 := m.Epochs, m.LR, m.L2
+	if epochs == 0 {
+		epochs = 300
+	}
+	if lr == 0 {
+		lr = 0.1
+	}
+	if l2 == 0 {
+		l2 = 1e-4
+	}
+	n, f := x.Rows, x.Cols
+	m.w = make([]float64, f)
+	m.b = 0
+	posW, negW := 1.0, 1.0
+	if m.Balance {
+		posW, negW = classWeights(y)
+	}
+	gw := make([]float64, f)
+	for e := 0; e < epochs; e++ {
+		for i := range gw {
+			gw[i] = 0
+		}
+		gb := 0.0
+		var wsum float64
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			z := m.b + tensor.Dot(m.w, row)
+			p := tensor.SigmoidScalar(z)
+			wgt := negW
+			if y[i] > 0.5 {
+				wgt = posW
+			}
+			d := wgt * (p - y[i])
+			for j, v := range row {
+				gw[j] += d * v
+			}
+			gb += d
+			wsum += wgt
+		}
+		for j := range m.w {
+			m.w[j] -= lr * (gw[j]/wsum + l2*m.w[j])
+		}
+		m.b -= lr * gb / wsum
+	}
+}
+
+// PredictProba implements Classifier.
+func (m *LogisticRegression) PredictProba(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = tensor.SigmoidScalar(m.b + tensor.Dot(m.w, x.Row(i)))
+	}
+	return out
+}
+
+// LinearSVM is a linear support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm on the hinge loss; scores are mapped
+// to probabilities with a fixed logistic link for AUC/thresholding.
+type LinearSVM struct {
+	Epochs  int     // 0 selects 30
+	Lambda  float64 // 0 selects 1e-4
+	Balance bool    // weight positives by the class ratio
+	Seed    uint64
+
+	w []float64
+	b float64
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(x *tensor.Matrix, y []float64) {
+	epochs, lambda := m.Epochs, m.Lambda
+	if epochs == 0 {
+		epochs = 30
+	}
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 3
+	}
+	rng := tensor.NewRNG(seed)
+	n, f := x.Rows, x.Cols
+	m.w = make([]float64, f)
+	m.b = 0
+	posW, negW := 1.0, 1.0
+	if m.Balance {
+		posW, negW = classWeights(y)
+	}
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for k := 0; k < n; k++ {
+			t++
+			i := rng.Intn(n)
+			eta := 1 / (lambda * float64(t))
+			row := x.Row(i)
+			yi := -1.0
+			wgt := negW
+			if y[i] > 0.5 {
+				yi = 1
+				wgt = posW
+			}
+			margin := yi * (m.b + tensor.Dot(m.w, row))
+			for j := range m.w {
+				m.w[j] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for j, v := range row {
+					m.w[j] += eta * wgt * yi * v
+				}
+				m.b += eta * wgt * yi * 0.1
+			}
+		}
+	}
+}
+
+// PredictProba implements Classifier.
+func (m *LinearSVM) PredictProba(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = tensor.SigmoidScalar(2 * (m.b + tensor.Dot(m.w, x.Row(i))))
+	}
+	return out
+}
+
+// classWeights returns (positive, negative) example weights that soften
+// class imbalance with a square-root reweighting — full inverse-ratio
+// weighting makes threshold-0.5 classifiers over-predict the minority
+// class, which does not match the paper's conservative feature models.
+// Both weights are 1 when a class is absent.
+func classWeights(y []float64) (posW, negW float64) {
+	var pos int
+	for _, v := range y {
+		if v > 0.5 {
+			pos++
+		}
+	}
+	neg := len(y) - pos
+	if pos == 0 || neg == 0 {
+		return 1, 1
+	}
+	return math.Sqrt(float64(neg) / float64(pos)), 1
+}
+
+// Standardize z-scores each column of train and applies the same
+// transform to the other matrices, returning new matrices. Columns with
+// zero variance pass through centered only.
+func Standardize(train *tensor.Matrix, others ...*tensor.Matrix) (*tensor.Matrix, []*tensor.Matrix) {
+	f := train.Cols
+	mean := make([]float64, f)
+	std := make([]float64, f)
+	for j := 0; j < f; j++ {
+		var s float64
+		for i := 0; i < train.Rows; i++ {
+			s += train.At(i, j)
+		}
+		mean[j] = s / float64(train.Rows)
+		var v float64
+		for i := 0; i < train.Rows; i++ {
+			d := train.At(i, j) - mean[j]
+			v += d * d
+		}
+		std[j] = math.Sqrt(v / float64(train.Rows))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	apply := func(m *tensor.Matrix) *tensor.Matrix {
+		out := m.Clone()
+		for i := 0; i < m.Rows; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] = (row[j] - mean[j]) / std[j]
+			}
+		}
+		return out
+	}
+	outOthers := make([]*tensor.Matrix, len(others))
+	for i, o := range others {
+		outOthers[i] = apply(o)
+	}
+	return apply(train), outOthers
+}

@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"sort"
+
+	"turbo/internal/tensor"
+)
+
+// treeNode is one node of a regression tree; leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int // child indices into the tree's node slice
+	right     int
+	value     float64
+}
+
+// regressionTree is a depth-limited CART regression tree fit with
+// second-order (Newton) leaf values, the weak learner of the GBDT.
+type regressionTree struct {
+	nodes []treeNode
+}
+
+// treeParams bounds tree growth.
+type treeParams struct {
+	maxDepth      int
+	minLeaf       int
+	lambda        float64 // L2 on leaf values
+	minSplitGain  float64
+	featureSample float64 // fraction of features considered per split
+	rng           *tensor.RNG
+}
+
+// fitTree grows a tree on gradients g and hessians h over rows idx.
+func fitTree(x *tensor.Matrix, g, h []float64, idx []int, p treeParams) *regressionTree {
+	t := &regressionTree{}
+	t.grow(x, g, h, idx, p, 0)
+	return t
+}
+
+// grow returns the index of the created node.
+func (t *regressionTree) grow(x *tensor.Matrix, g, h []float64, idx []int, p treeParams, depth int) int {
+	var sumG, sumH float64
+	for _, i := range idx {
+		sumG += g[i]
+		sumH += h[i]
+	}
+	leafVal := -sumG / (sumH + p.lambda)
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: leafVal})
+	if depth >= p.maxDepth || len(idx) < 2*p.minLeaf {
+		return self
+	}
+	bestGain := p.minSplitGain
+	bestFeat, bestThresh := -1, 0.0
+	parentScore := sumG * sumG / (sumH + p.lambda)
+
+	order := make([]int, len(idx))
+	for f := 0; f < x.Cols; f++ {
+		if p.featureSample < 1 && p.rng != nil && p.rng.Float64() > p.featureSample {
+			continue
+		}
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x.At(order[a], f) < x.At(order[b], f) })
+		var lG, lH float64
+		for k := 0; k+1 < len(order); k++ {
+			i := order[k]
+			lG += g[i]
+			lH += h[i]
+			if k+1 < p.minLeaf || len(order)-k-1 < p.minLeaf {
+				continue
+			}
+			v, next := x.At(i, f), x.At(order[k+1], f)
+			if v == next {
+				continue
+			}
+			rG, rH := sumG-lG, sumH-lH
+			gain := lG*lG/(lH+p.lambda) + rG*rG/(rH+p.lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return self
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x.At(i, bestFeat) <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return self
+	}
+	left := t.grow(x, g, h, leftIdx, p, depth+1)
+	right := t.grow(x, g, h, rightIdx, p, depth+1)
+	t.nodes[self].feature = bestFeat
+	t.nodes[self].threshold = bestThresh
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// predict evaluates one feature row.
+func (t *regressionTree) predict(row []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// depth returns the maximum depth of the tree (a root-only tree is 0).
+func (t *regressionTree) depth() int {
+	var walk func(i int) int
+	walk = func(i int) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}

@@ -1,0 +1,40 @@
+package behavior
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL streams logs to w as one JSON object per line, the on-disk
+// interchange format used by cmd/turbo-datagen and cmd/turbo-train.
+func WriteJSONL(w io.Writer, logs []Log) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range logs {
+		if err := enc.Encode(&logs[i]); err != nil {
+			return fmt.Errorf("behavior: encode log %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses logs written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Log, error) {
+	var logs []Log
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var l Log
+		if err := dec.Decode(&l); err != nil {
+			if err == io.EOF {
+				return logs, nil
+			}
+			return nil, fmt.Errorf("behavior: decode log %d: %w", len(logs), err)
+		}
+		if !l.Type.Valid() {
+			return nil, fmt.Errorf("behavior: log %d has invalid type %d", len(logs), l.Type)
+		}
+		logs = append(logs, l)
+	}
+}

@@ -1,0 +1,102 @@
+// Package behavior defines the user behavior log model of the paper —
+// records of the form [uid, r, s, t] where r is a behavior type (Table I)
+// and s its value — together with an indexed in-memory log store that the
+// BN server and the feature management module query.
+package behavior
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type enumerates the behavior types of Table I. The edge types of the
+// behavior network are the same as the behavior types.
+type Type uint8
+
+// Behavior types from Table I of the paper.
+const (
+	DeviceID  Type = iota // unique identifier for a mobile device
+	IMEI                  // International Mobile Equipment Identity
+	IMSI                  // International Mobile Subscriber Identity
+	IPv4                  // Internet Protocol v4 address
+	WiFiMAC               // MAC address of a Wi-Fi router
+	GPS                   // precise GPS coordinates of user location
+	GPS100                // 100-meter square of user GPS location
+	GPSDev                // precise GPS coordinates of delivery address
+	GPSDev100             // 100-meter square of GPSDev
+	Workplace             // user workplace address
+	numTypes
+)
+
+// NumTypes is the number of behavior/edge types.
+const NumTypes = int(numTypes)
+
+var typeNames = [...]string{
+	"DeviceId", "IMEI", "IMSI", "IPv4", "WiFiMAC",
+	"GPS", "GPS100", "GPSDev", "GPSDev100", "Workplace",
+}
+
+// String returns the Table I name of the type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the defined types.
+func (t Type) Valid() bool { return t < numTypes }
+
+// ParseType maps a Table I name back to its Type.
+func ParseType(s string) (Type, error) {
+	for i, n := range typeNames {
+		if n == s {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("behavior: unknown type %q", s)
+}
+
+// AllTypes lists every behavior type in declaration order.
+func AllTypes() []Type {
+	ts := make([]Type, NumTypes)
+	for i := range ts {
+		ts[i] = Type(i)
+	}
+	return ts
+}
+
+// Deterministic reports whether the type conveys a near-certain relation
+// (§VI-C: Device ID, IMEI, IMSI) as opposed to a probabilistic one
+// (IP, Wi-Fi, GPS variants, workplace).
+func (t Type) Deterministic() bool {
+	switch t {
+	case DeviceID, IMEI, IMSI:
+		return true
+	}
+	return false
+}
+
+// UserID identifies a user node.
+type UserID uint32
+
+// Log is one behavior record [uid, r, s, t].
+type Log struct {
+	User  UserID    `json:"uid"`
+	Type  Type      `json:"type"`
+	Value string    `json:"value"`
+	Time  time.Time `json:"time"`
+}
+
+// Key returns the co-occurrence key (r, s) of the log.
+func (l Log) Key() Key { return Key{Type: l.Type, Value: l.Value} }
+
+// Key identifies a shared behavior value: users emitting logs with the
+// same Key within a time window become connected in the BN.
+type Key struct {
+	Type  Type
+	Value string
+}
+
+// String renders the key for debugging.
+func (k Key) String() string { return k.Type.String() + ":" + k.Value }

@@ -1,0 +1,217 @@
+package behavior
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is a concurrency-safe in-memory behavior log store with two
+// indexes: by user (for feature computation) and by (type, value) key
+// (for BN edge construction). Logs are kept sorted by time within each
+// index, which the BN builder and sliding-window feature counters rely
+// on for range scans.
+type Store struct {
+	mu     sync.RWMutex
+	byUser map[UserID][]Log
+	byKey  map[Key][]Log
+	count  int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byUser: make(map[UserID][]Log),
+		byKey:  make(map[Key][]Log),
+	}
+}
+
+// Append adds one log to both indexes.
+func (s *Store) Append(l Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byUser[l.User] = insertSorted(s.byUser[l.User], l)
+	k := l.Key()
+	s.byKey[k] = insertSorted(s.byKey[k], l)
+	s.count++
+}
+
+// AppendBatch bulk-loads many logs: entries are appended to both indexes
+// and each touched slice is re-sorted once, which is far cheaper than
+// per-log sorted insertion for large loads.
+func (s *Store) AppendBatch(logs []Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	touchedUsers := make(map[UserID]struct{})
+	touchedKeys := make(map[Key]struct{})
+	for _, l := range logs {
+		s.byUser[l.User] = append(s.byUser[l.User], l)
+		k := l.Key()
+		s.byKey[k] = append(s.byKey[k], l)
+		touchedUsers[l.User] = struct{}{}
+		touchedKeys[k] = struct{}{}
+	}
+	s.count += len(logs)
+	for u := range touchedUsers {
+		sortLogs(s.byUser[u])
+	}
+	for k := range touchedKeys {
+		sortLogs(s.byKey[k])
+	}
+}
+
+func sortLogs(logs []Log) {
+	sort.SliceStable(logs, func(i, j int) bool { return logs[i].Time.Before(logs[j].Time) })
+}
+
+// insertSorted keeps the slice ordered by time; logs usually arrive in
+// order so the common case is a plain append.
+func insertSorted(logs []Log, l Log) []Log {
+	n := len(logs)
+	if n == 0 || !l.Time.Before(logs[n-1].Time) {
+		return append(logs, l)
+	}
+	i := sort.Search(n, func(i int) bool { return logs[i].Time.After(l.Time) })
+	logs = append(logs, Log{})
+	copy(logs[i+1:], logs[i:])
+	logs[i] = l
+	return logs
+}
+
+// Len returns the total number of stored logs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// UserCount returns how many distinct users have logs.
+func (s *Store) UserCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byUser)
+}
+
+// Users returns the IDs of all users with at least one log, sorted.
+func (s *Store) Users() []UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]UserID, 0, len(s.byUser))
+	for id := range s.byUser {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// UserLogs returns a copy of all logs of one user, ordered by time.
+func (s *Store) UserLogs(u UserID) []Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Log(nil), s.byUser[u]...)
+}
+
+// UserLogsBetween returns the user's logs with Time in [from, to).
+func (s *Store) UserLogsBetween(u UserID, from, to time.Time) []Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return rangeScan(s.byUser[u], from, to)
+}
+
+// KeyLogsBetween returns logs sharing key k with Time in [from, to).
+func (s *Store) KeyLogsBetween(k Key, from, to time.Time) []Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return rangeScan(s.byKey[k], from, to)
+}
+
+// Keys returns every distinct (type, value) key, unordered.
+func (s *Store) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ks := make([]Key, 0, len(s.byKey))
+	for k := range s.byKey {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// KeysOfType returns every distinct key of behavior type t.
+func (s *Store) KeysOfType(t Type) []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ks []Key
+	for k := range s.byKey {
+		if k.Type == t {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// ForEachKey calls fn once per distinct (type, value) key with all of
+// that key's logs ordered by time. The slice must not be mutated.
+// Iteration order across keys is unspecified.
+func (s *Store) ForEachKey(fn func(k Key, logs []Log)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, logs := range s.byKey {
+		fn(k, logs)
+	}
+}
+
+// ScanBetween calls fn for every log with Time in [from, to), grouped by
+// key; iteration order across keys is unspecified.
+func (s *Store) ScanBetween(from, to time.Time, fn func(k Key, logs []Log)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, logs := range s.byKey {
+		if in := rangeScan(logs, from, to); len(in) > 0 {
+			fn(k, in)
+		}
+	}
+}
+
+func rangeScan(logs []Log, from, to time.Time) []Log {
+	lo := sort.Search(len(logs), func(i int) bool { return !logs[i].Time.Before(from) })
+	hi := sort.Search(len(logs), func(i int) bool { return !logs[i].Time.Before(to) })
+	if lo >= hi {
+		return nil
+	}
+	return append([]Log(nil), logs[lo:hi]...)
+}
+
+// DropBefore removes all logs older than cutoff and returns how many
+// were removed. It keeps the store bounded for long-running servers.
+func (s *Store) DropBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for u, logs := range s.byUser {
+		kept := dropOld(logs, cutoff)
+		removed += len(logs) - len(kept)
+		if len(kept) == 0 {
+			delete(s.byUser, u)
+		} else {
+			s.byUser[u] = kept
+		}
+	}
+	for k, logs := range s.byKey {
+		kept := dropOld(logs, cutoff)
+		if len(kept) == 0 {
+			delete(s.byKey, k)
+		} else {
+			s.byKey[k] = kept
+		}
+	}
+	s.count -= removed
+	return removed
+}
+
+func dropOld(logs []Log, cutoff time.Time) []Log {
+	i := sort.Search(len(logs), func(i int) bool { return !logs[i].Time.Before(cutoff) })
+	if i == 0 {
+		return logs
+	}
+	return append([]Log(nil), logs[i:]...)
+}

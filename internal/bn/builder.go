@@ -1,0 +1,231 @@
+// Package bn constructs the Behavior Network of §III: a time-evolving
+// heterogeneous graph whose typed edges connect users that shared the
+// same behavior value within a time window. It implements Algorithm 1
+// with the paper's two uncertainty-reduction strategies — inverse weight
+// assignment (each co-occurrence group of N users contributes 1/N to
+// every pairwise edge) and hierarchical time windows (co-occurrences in
+// shorter windows are re-counted by every longer window, so temporally
+// tight relations accumulate larger weights) — plus the 60-day edge TTL
+// of §V.
+package bn
+
+import (
+	"fmt"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/graph"
+)
+
+// DefaultWindows is the paper's empirical hierarchy
+// W = [1 hour, 2 hours, …, 12 hours, 1 day].
+func DefaultWindows() []time.Duration {
+	ws := make([]time.Duration, 0, 13)
+	for h := 1; h <= 12; h++ {
+		ws = append(ws, time.Duration(h)*time.Hour)
+	}
+	return append(ws, 24*time.Hour)
+}
+
+// DefaultTTL is the max edge Time-To-Live of §V.
+const DefaultTTL = 60 * 24 * time.Hour
+
+// Config parameterizes BN construction.
+type Config struct {
+	// Windows is the hierarchical time window set W (ascending). Empty
+	// selects DefaultWindows.
+	Windows []time.Duration
+	// TTL is the edge time-to-live; zero selects DefaultTTL.
+	TTL time.Duration
+	// MaxGroupSize caps the number of users in one co-occurrence group
+	// whose pairwise edges are materialized. Groups larger than the cap
+	// (e.g. a public Wi-Fi shared by hundreds of users) would add
+	// O(N²) edges of weight 1/N ≤ 1/cap each — individually negligible
+	// under the inverse rule — so they are skipped. 0 selects 64.
+	MaxGroupSize int
+	// UniformWeights disables the inverse weight assignment (every
+	// co-occurrence contributes weight 1). Ablation use only.
+	UniformWeights bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Windows) == 0 {
+		c.Windows = DefaultWindows()
+	}
+	if c.TTL == 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.MaxGroupSize == 0 {
+		c.MaxGroupSize = 64
+	}
+	return c
+}
+
+// Validate checks the window hierarchy is strictly ascending and positive.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	for i, w := range c.Windows {
+		if w <= 0 {
+			return fmt.Errorf("bn: window %d is non-positive (%v)", i, w)
+		}
+		if i > 0 && w <= c.Windows[i-1] {
+			return fmt.Errorf("bn: windows must be strictly ascending: W[%d]=%v ≤ W[%d]=%v",
+				i, w, i-1, c.Windows[i-1])
+		}
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("bn: negative TTL %v", c.TTL)
+	}
+	return nil
+}
+
+// Builder incrementally constructs the BN from a behavior log store.
+type Builder struct {
+	cfg   Config
+	store *behavior.Store
+	g     *graph.Graph
+	// nextEpoch[i] is the start of the next unprocessed epoch of window i.
+	nextEpoch []time.Time
+	origin    time.Time
+}
+
+// NewBuilder creates a builder writing into g; t0 anchors the epoch grid
+// (Algorithm 1's "initial time").
+func NewBuilder(cfg Config, store *behavior.Store, g *graph.Graph, t0 time.Time) (*Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	b := &Builder{cfg: cfg, store: store, g: g, origin: t0}
+	b.nextEpoch = make([]time.Time, len(cfg.Windows))
+	for i := range b.nextEpoch {
+		b.nextEpoch[i] = t0
+	}
+	return b, nil
+}
+
+// Graph returns the BN being built.
+func (b *Builder) Graph() *graph.Graph { return b.g }
+
+// Config returns the effective configuration.
+func (b *Builder) Config() Config { return b.cfg }
+
+// ProcessEpoch runs one window job: it scans logs in [start, start+w),
+// groups them by (type, value), and adds the inverse-weighted pairwise
+// edges of each group (Algorithm 1 lines 5–8). The edge expiry is the
+// epoch end plus the TTL.
+func (b *Builder) ProcessEpoch(w time.Duration, start time.Time) {
+	end := start.Add(w)
+	expire := end.Add(b.cfg.TTL)
+	b.store.ScanBetween(start, end, func(k behavior.Key, logs []behavior.Log) {
+		users := distinctUsers(logs)
+		n := len(users)
+		if n < 2 || n > b.cfg.MaxGroupSize {
+			return
+		}
+		weight := 1.0
+		if !b.cfg.UniformWeights {
+			weight = 1.0 / float64(n)
+		}
+		t := graph.EdgeType(k.Type)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				// Errors are impossible here by construction (distinct
+				// users, positive weight, valid type).
+				_ = b.g.AddEdgeWeight(t, graph.NodeID(users[i]), graph.NodeID(users[j]), weight, expire)
+			}
+		}
+	})
+}
+
+// Advance processes, for every window size, all epochs that have fully
+// elapsed by now, then prunes expired edges. It returns the number of
+// epoch jobs executed. The BN server calls this periodically; jobs with
+// shorter windows naturally run more frequently (§V).
+func (b *Builder) Advance(now time.Time) int {
+	jobs := 0
+	for i, w := range b.cfg.Windows {
+		for !b.nextEpoch[i].Add(w).After(now) {
+			b.ProcessEpoch(w, b.nextEpoch[i])
+			b.nextEpoch[i] = b.nextEpoch[i].Add(w)
+			jobs++
+		}
+	}
+	b.g.Prune(now)
+	return jobs
+}
+
+// BuildRange batch-constructs the BN over [from, to), producing exactly
+// the same edges as running every window's epoch jobs, but iterating
+// key-by-key instead of epoch-by-epoch so the cost is
+// O(keys × windows × logs-per-key) rather than O(epochs × keys).
+// This is the offline path used to assemble training datasets. Edges are
+// not pruned; call Graph().Prune for TTL semantics.
+func (b *Builder) BuildRange(from, to time.Time) {
+	b.store.ForEachKey(func(k behavior.Key, logs []behavior.Log) {
+		b.buildKey(k, logs, from, to)
+	})
+}
+
+// buildKey adds, for one (type, value) key, the contributions of every
+// window's epochs intersecting [from, to).
+func (b *Builder) buildKey(k behavior.Key, logs []behavior.Log, from, to time.Time) {
+	t := graph.EdgeType(k.Type)
+	for _, w := range b.cfg.Windows {
+		// Bucket logs by origin-anchored epoch index.
+		buckets := make(map[int64][]behavior.UserID)
+		for _, l := range logs {
+			if l.Time.Before(from) || !l.Time.Before(to) {
+				continue
+			}
+			idx := int64(l.Time.Sub(b.origin) / w)
+			buckets[idx] = append(buckets[idx], l.User)
+		}
+		for idx, us := range buckets {
+			users := dedupUsers(us)
+			n := len(users)
+			if n < 2 || n > b.cfg.MaxGroupSize {
+				continue
+			}
+			weight := 1.0
+			if !b.cfg.UniformWeights {
+				weight = 1.0 / float64(n)
+			}
+			epochEnd := b.origin.Add(time.Duration(idx+1) * w)
+			expire := epochEnd.Add(b.cfg.TTL)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					_ = b.g.AddEdgeWeight(t, graph.NodeID(users[i]), graph.NodeID(users[j]), weight, expire)
+				}
+			}
+		}
+	}
+}
+
+func dedupUsers(us []behavior.UserID) []behavior.UserID {
+	seen := make(map[behavior.UserID]struct{}, len(us))
+	out := us[:0]
+	for _, u := range us {
+		if _, ok := seen[u]; !ok {
+			seen[u] = struct{}{}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NextEpochStart reports the start of the next unprocessed epoch for the
+// i-th window, useful for scheduling and tests.
+func (b *Builder) NextEpochStart(i int) time.Time { return b.nextEpoch[i] }
+
+func distinctUsers(logs []behavior.Log) []behavior.UserID {
+	seen := make(map[behavior.UserID]struct{}, len(logs))
+	var users []behavior.UserID
+	for _, l := range logs {
+		if _, ok := seen[l.User]; !ok {
+			seen[l.User] = struct{}{}
+			users = append(users, l.User)
+		}
+	}
+	return users
+}

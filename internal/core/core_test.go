@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/bn"
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+)
+
+var t0 = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(u behavior.UserID, typ behavior.Type, val string, offset time.Duration) behavior.Log {
+	return behavior.Log{User: u, Type: typ, Value: val, Time: t0.Add(offset)}
+}
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{BN: bn.Config{Windows: []time.Duration{time.Hour}}}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func attachModel(t *testing.T, sys *System) {
+	t.Helper()
+	dim := 2 + feature.NumStatFeatures()
+	model := gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{4}, MLPHidden: 2, Seed: 1})
+	sys.SetModel(model, nil)
+}
+
+func TestAuditWithoutModelErrors(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.Audit(1, t0); err == nil {
+		t.Fatal("audit must fail before SetModel")
+	}
+	if sys.API() != nil {
+		t.Fatal("API should be nil before SetModel")
+	}
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	sys := newSystem(t)
+	attachModel(t, sys)
+
+	// Two users share a device; both apply.
+	sys.Ingest(mk(1, behavior.DeviceID, "dev", 10*time.Minute))
+	sys.Ingest(mk(2, behavior.DeviceID, "dev", 20*time.Minute))
+	for u := behavior.UserID(1); u <= 2; u++ {
+		if err := sys.RegisterApplication(u, []float64{float64(u), 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := sys.Advance(t0.Add(2 * time.Hour))
+	if jobs == 0 {
+		t.Fatal("no window jobs ran")
+	}
+	if sys.BNServer().Graph().EdgeWeight(0, 1, 2) == 0 {
+		t.Fatal("BN edge missing after Advance")
+	}
+
+	pred, err := sys.Audit(1, t0.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.SubgraphNodes != 2 {
+		t.Fatalf("subgraph nodes %d want 2", pred.SubgraphNodes)
+	}
+	if pred.Probability < 0 || pred.Probability > 1 {
+		t.Fatalf("probability %v", pred.Probability)
+	}
+	if sys.API() == nil {
+		t.Fatal("API should exist after SetModel")
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	sys, err := New(Config{}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachModel(t, sys)
+	if sys.PredictionServer().Threshold != 0.85 {
+		t.Fatalf("default threshold %v want 0.85 (§VI-E)", sys.PredictionServer().Threshold)
+	}
+}
+
+func TestInvalidBNConfigRejected(t *testing.T) {
+	_, err := New(Config{BN: bn.Config{Windows: []time.Duration{2 * time.Hour, time.Hour}}}, t0)
+	if err == nil {
+		t.Fatal("invalid BN config accepted")
+	}
+}
+
+func TestSampleOptionsPropagate(t *testing.T) {
+	sys, err := New(Config{SampleHops: 1, MaxNeighbors: 3}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.BNServer().SampleHops != 1 || sys.BNServer().MaxNeighbors != 3 {
+		t.Fatal("sampling options not applied")
+	}
+}
+
+func TestRegisterApplicationStoresProfile(t *testing.T) {
+	sys := newSystem(t)
+	if err := sys.RegisterApplication(5, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	vec, err := sys.Features().Vector(5, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] != 1 || vec[1] != 2 {
+		t.Fatalf("profile not stored: %v", vec[:2])
+	}
+	if !sys.BNServer().Graph().HasNode(5) {
+		t.Fatal("transaction node not registered")
+	}
+}

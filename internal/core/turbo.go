@@ -1,0 +1,128 @@
+// Package core assembles the full Turbo system (Fig. 2) behind one
+// facade: behavior-log ingestion, scheduled BN construction, feature
+// management, and real-time fraud prediction with a trained model. It is
+// the public entry point examples and cmd/turbo-server build on.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/bn"
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+	"turbo/internal/server"
+)
+
+// Config parameterizes a Turbo system.
+type Config struct {
+	// BN is the Algorithm 1 configuration (zero value = paper defaults:
+	// hierarchical windows 1h…12h,1d and a 60-day edge TTL).
+	BN bn.Config
+	// Feature configures the feature management module.
+	Feature feature.Config
+	// Threshold is the online fraud-probability threshold; the §VI-E
+	// deployment uses 0.85. Zero selects 0.85.
+	Threshold float64
+	// SampleHops / MaxNeighbors control computation-subgraph sampling.
+	SampleHops   int
+	MaxNeighbors int
+}
+
+// System is a running Turbo instance.
+type System struct {
+	cfg   Config
+	bn    *server.BNServer
+	feats *feature.Service
+	pred  *server.PredictionServer
+}
+
+// New creates a Turbo system anchored at t0 (the BN epoch-grid origin).
+// A model must be attached with SetModel before audits are served.
+func New(cfg Config, t0 time.Time) (*System, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.85
+	}
+	bnServer, err := server.NewBNServer(cfg.BN, t0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.SampleHops > 0 {
+		bnServer.SampleHops = cfg.SampleHops
+	}
+	if cfg.MaxNeighbors > 0 {
+		bnServer.MaxNeighbors = cfg.MaxNeighbors
+	}
+	feats := feature.NewService(cfg.Feature, bnServer.Store())
+	return &System{cfg: cfg, bn: bnServer, feats: feats}, nil
+}
+
+// SetModel attaches the trained classification model and the feature
+// normalizer fitted at training time (nil = identity).
+func (s *System) SetModel(m gnn.Model, normalizer func([]float64) []float64) {
+	s.pred = server.NewPredictionServer(s.bn, s.feats, m, s.cfg.Threshold)
+	s.pred.Normalizer = normalizer
+}
+
+// Ingest records one behavior log in real time.
+func (s *System) Ingest(l behavior.Log) { s.bn.Ingest(l) }
+
+// IngestBatch bulk-loads historical logs.
+func (s *System) IngestBatch(logs []behavior.Log) { s.bn.IngestBatch(logs) }
+
+// RegisterApplication stores a user's static features (X_u ⊕ X_τ) and
+// marks the user as having a transaction, making it eligible for
+// computation subgraphs and audits.
+func (s *System) RegisterApplication(u behavior.UserID, features []float64) error {
+	if err := s.feats.PutProfile(u, features); err != nil {
+		return fmt.Errorf("core: register application: %w", err)
+	}
+	s.bn.RegisterTransaction(u)
+	return nil
+}
+
+// Advance runs the scheduled BN window jobs due by now and prunes
+// expired edges; it returns the number of epoch jobs executed. Servers
+// call this periodically — construction runs in parallel to audits and
+// never sits on the prediction path (§V).
+func (s *System) Advance(now time.Time) int { return s.bn.Advance(now) }
+
+// Audit serves one real-time fraud detection request.
+func (s *System) Audit(u behavior.UserID, at time.Time) (server.Prediction, error) {
+	if s.pred == nil {
+		return server.Prediction{}, fmt.Errorf("core: no model attached; call SetModel first")
+	}
+	return s.pred.Predict(u, at)
+}
+
+// API returns the HTTP handler for the online stack (nil until SetModel).
+func (s *System) API() *server.API {
+	if s.pred == nil {
+		return nil
+	}
+	return server.NewAPI(s.pred, s.bn)
+}
+
+// BNServer exposes the BN server (stats, direct sampling).
+func (s *System) BNServer() *server.BNServer { return s.bn }
+
+// Features exposes the feature service.
+func (s *System) Features() *feature.Service { return s.feats }
+
+// PredictionServer exposes the prediction server (latency digests).
+func (s *System) PredictionServer() *server.PredictionServer { return s.pred }
+
+// StartRetraining launches the model management module (Fig. 2): train
+// is invoked every interval and the resulting model is hot-swapped into
+// the prediction server. The paper retrains HAG daily. The returned
+// manager reports status; cancel ctx to stop the loop.
+func (s *System) StartRetraining(ctx context.Context, interval time.Duration, train server.TrainFunc) (*server.ModelManager, error) {
+	if s.pred == nil {
+		return nil, fmt.Errorf("core: attach an initial model with SetModel before StartRetraining")
+	}
+	mgr := server.NewModelManager(s.pred, train)
+	go mgr.Run(ctx, interval)
+	return mgr, nil
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"turbo/internal/behavior"
+)
+
+// userRecord is the users.jsonl row format shared by cmd/turbo-datagen
+// and cmd/turbo-train.
+type userRecord struct {
+	ID      behavior.UserID `json:"uid"`
+	Fraud   bool            `json:"fraud"`
+	Ring    int             `json:"ring"`
+	AppTime time.Time       `json:"app_time"`
+	Profile []float64       `json:"profile"`
+	Txn     []float64       `json:"txn"`
+}
+
+// WriteUsersJSONL streams the users of a dataset as one JSON object per
+// line.
+func WriteUsersJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Users {
+		u := &d.Users[i]
+		rec := userRecord{ID: u.ID, Fraud: u.Fraud, Ring: u.Ring, AppTime: u.AppTime, Profile: u.Profile, Txn: u.Txn}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("datagen: encode user %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUsersJSONL parses users written by WriteUsersJSONL.
+func ReadUsersJSONL(r io.Reader) ([]User, error) {
+	var users []User
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec userRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return users, nil
+			}
+			return nil, fmt.Errorf("datagen: decode user %d: %w", len(users), err)
+		}
+		users = append(users, User{
+			ID: rec.ID, Fraud: rec.Fraud, Ring: rec.Ring,
+			AppTime: rec.AppTime, Profile: rec.Profile, Txn: rec.Txn,
+		})
+	}
+}
+
+// FromParts reassembles a Dataset from separately loaded users and logs
+// (the turbo-train -data path). The observation window is inferred from
+// the log timestamps. Users must be ID-positional (as generated).
+func FromParts(name string, users []User, logs []behavior.Log) (*Dataset, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("datagen: no users")
+	}
+	for i := range users {
+		if int(users[i].ID) != i {
+			return nil, fmt.Errorf("datagen: user %d has non-positional ID %d", i, users[i].ID)
+		}
+		if len(users[i].Profile) != len(ProfileFeatureNames()) || len(users[i].Txn) != len(TxnFeatureNames()) {
+			return nil, fmt.Errorf("datagen: user %d has wrong feature dimensions", i)
+		}
+	}
+	d := &Dataset{Config: Config{Name: name, Users: len(users)}, Users: users, Logs: logs}
+	if len(logs) > 0 {
+		d.Start, d.End = logs[0].Time, logs[0].Time
+		for _, l := range logs {
+			if l.Time.Before(d.Start) {
+				d.Start = l.Time
+			}
+			if l.Time.After(d.End) {
+				d.End = l.Time
+			}
+		}
+	}
+	return d, nil
+}

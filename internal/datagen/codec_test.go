@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUsersJSONLRoundtrip(t *testing.T) {
+	d := Generate(Tiny())
+	var buf bytes.Buffer
+	if err := WriteUsersJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	users, err := ReadUsersJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != len(d.Users) {
+		t.Fatalf("user count %d want %d", len(users), len(d.Users))
+	}
+	for i := range users {
+		a, b := &users[i], &d.Users[i]
+		if a.ID != b.ID || a.Fraud != b.Fraud || a.Ring != b.Ring || !a.AppTime.Equal(b.AppTime) {
+			t.Fatalf("user %d metadata mismatch", i)
+		}
+		for j := range a.Profile {
+			if a.Profile[j] != b.Profile[j] {
+				t.Fatalf("user %d profile mismatch", i)
+			}
+		}
+	}
+}
+
+func TestReadUsersJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadUsersJSONL(strings.NewReader("{oops")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFromPartsRoundtrip(t *testing.T) {
+	d := Generate(Tiny())
+	got, err := FromParts("reloaded", d.Users, d.Logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Name != "reloaded" || len(got.Users) != len(d.Users) {
+		t.Fatalf("dataset %+v", got.Config)
+	}
+	// Inferred window must cover all logs.
+	for _, l := range got.Logs {
+		if l.Time.Before(got.Start) || l.Time.After(got.End) {
+			t.Fatal("inferred window does not cover logs")
+		}
+	}
+}
+
+func TestFromPartsValidates(t *testing.T) {
+	if _, err := FromParts("x", nil, nil); err == nil {
+		t.Fatal("empty users accepted")
+	}
+	d := Generate(Tiny())
+	bad := append([]User(nil), d.Users...)
+	bad[0].ID = 99 // non-positional
+	if _, err := FromParts("x", bad, d.Logs); err == nil {
+		t.Fatal("non-positional IDs accepted")
+	}
+	short := append([]User(nil), d.Users...)
+	short[0].Profile = short[0].Profile[:2]
+	if _, err := FromParts("x", short, d.Logs); err == nil {
+		t.Fatal("wrong feature dims accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package datagen synthesizes a deposit-free-leasing world that stands in
+// for the proprietary Jimi Store dataset (see DESIGN.md §2). It encodes
+// the paper's empirical findings as generative assumptions:
+//
+//   - Time burst (Fig. 4a/b): normal users emit behavior logs uniformly
+//     over their lease; fraudsters burst within ~0–3 days of application.
+//   - Temporal aggregation (Fig. 4c): fraud-ring members share behavior
+//     values (devices, IPs, addresses) at close times.
+//   - Homophily (Fig. 4d–g): rings share deterministic identifiers
+//     (Device ID, IMEI, IMSI) almost exclusively among themselves, while
+//     probabilistic identifiers (public Wi-Fi, IPs, GPS cells, shared
+//     workplaces) also connect unrelated normal users, producing the
+//     large noisy cliques that cause over-smoothing in vanilla GNNs.
+//   - Identity packaging (§I): a configurable fraction of fraudsters
+//     carry "packaged" profiles drawn from the normal feature
+//     distribution, so feature-only classifiers miss them and the graph
+//     signal is required for recall.
+package datagen
+
+import "time"
+
+// Config parameterizes the synthetic world.
+type Config struct {
+	Name string
+	Seed uint64
+
+	// Users is the total number of users (each has one application).
+	Users int
+	// FraudRatio is the fraction of users that are fraudsters.
+	FraudRatio float64
+	// RingSizeMin/Max bound fraud-ring sizes.
+	RingSizeMin, RingSizeMax int
+	// CleanProfileFrac is the fraction of fraudsters whose profile and
+	// transaction features are drawn from the normal distributions
+	// (identity packaging); they are detectable only through the graph.
+	CleanProfileFrac float64
+	// SoloFraudFrac is the fraction of fraudsters operating alone with
+	// their own assets: no ring co-occurrences, so the graph signal is
+	// absent and (if also clean) they bound every method's recall.
+	SoloFraudFrac float64
+	// DefaulterFrac is the fraction of positives that are ordinary
+	// defaulters rather than organized fraudsters: their features and
+	// behavior are drawn from the normal model, so no method can detect
+	// them — they bound recall and AUC for every method, as real-world
+	// label noise does.
+	DefaulterFrac float64
+	// CarefulRingFrac is the fraction of rings that avoid sharing
+	// deterministic identifiers (devices/IMEI/IMSI), leaving only the
+	// probabilistic delivery-address and den co-occurrences.
+	CarefulRingFrac float64
+	// DirtyShift scales how far non-clean fraudsters' feature means
+	// deviate from the normal population, in units of the handcrafted
+	// per-dimension offsets (1 = the calibrated default separation).
+	DirtyShift float64
+
+	// Start anchors the observation period; Duration is its length.
+	Start    time.Time
+	Duration time.Duration
+
+	// SessionsNormalMin/Max bound the session count of a normal user.
+	SessionsNormalMin, SessionsNormalMax int
+	// SessionsFraudMin/Max bound the session count of a fraudster.
+	SessionsFraudMin, SessionsFraudMax int
+	// FraudBurst is the half-width of the fraud session burst around
+	// application time.
+	FraudBurst time.Duration
+	// RingCampaignSpread is how far ring members' application times
+	// spread around the ring's campaign time (temporal aggregation).
+	RingCampaignSpread time.Duration
+
+	// PublicWiFiPerUsers: one public Wi-Fi hotspot (a noisy clique
+	// generator) per this many users. Same for public IPs and places.
+	PublicWiFiPerUsers int
+	// WorkplacePerUsers: one shared workplace per this many users.
+	WorkplacePerUsers int
+	// PublicVisitProb is the chance a normal session happens in public.
+	PublicVisitProb float64
+	// CafePerUsers: one internet café / dormitory per this many users.
+	// Cafés own shared devices, so their regulars form dense multi-type
+	// benign cliques that are structurally indistinguishable from fraud
+	// rings — flat graph features cannot separate them; neighbor
+	// features and temporal edge weights can. 0 disables cafés.
+	CafePerUsers int
+	// CafeRegularFrac is the fraction of normal users who frequent a café.
+	CafeRegularFrac float64
+	// FraudBackgroundFrac is the fraction of fraudsters whose account
+	// carries months of ordinary activity history before the burst
+	// (stolen/packaged identities). It hardens the dataset for every
+	// model; the defaults keep it off so the headline comparison matches
+	// the paper's regime, and the hardened variants remain reproducible
+	// by setting it (see EXPERIMENTS.md).
+	FraudBackgroundFrac float64
+
+	// FeatureNoise scales extra Gaussian noise added to all features.
+	FeatureNoise float64
+}
+
+// Default returns the standard evaluation-scale configuration: a
+// D1-shaped world reduced to laptop scale. The fraud ratio is raised
+// from the paper's 1.37% to 5% so the 20% test split holds enough
+// positives for stable precision/recall at this size (documented in
+// DESIGN.md); the full-scale preset D1Full keeps the paper's ratio.
+func Default() Config {
+	return Config{
+		Name:                "D1-small",
+		Seed:                42,
+		Users:               4000,
+		FraudRatio:          0.05,
+		RingSizeMin:         4,
+		RingSizeMax:         10,
+		CleanProfileFrac:    0.45,
+		SoloFraudFrac:       0.15,
+		DefaulterFrac:       0.20,
+		CarefulRingFrac:     0.25,
+		DirtyShift:          1.4,
+		Start:               time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		Duration:            540 * 24 * time.Hour, // Jan 2017 – Jun 2018
+		SessionsNormalMin:   25,
+		SessionsNormalMax:   70,
+		SessionsFraudMin:    8,
+		SessionsFraudMax:    22,
+		FraudBurst:          36 * time.Hour,
+		RingCampaignSpread:  72 * time.Hour,
+		PublicWiFiPerUsers:  150,
+		WorkplacePerUsers:   25,
+		PublicVisitProb:     0.20,
+		CafePerUsers:        300,
+		CafeRegularFrac:     0, // opt-in: café cliques confuse all models
+		FraudBackgroundFrac: 0, // opt-in: background history dilutes the burst
+		FeatureNoise:        1.0,
+	}
+}
+
+// D1Full returns the paper-scale D1 configuration (Table II: 67,072
+// nodes, 918 positives). Building it takes minutes, not seconds.
+func D1Full() Config {
+	c := Default()
+	c.Name = "D1"
+	c.Users = 67072
+	c.FraudRatio = 918.0 / 67072.0
+	return c
+}
+
+// D2 returns a D2-shaped configuration: applications that did not pass
+// the upstream risk system are included and labeled positive, so the
+// positive rate is ~92% (Table II) and the feature signal is stronger —
+// rejected applicants look overtly risky.
+func D2(scale int) Config {
+	c := Default()
+	c.Name = "D2"
+	if scale <= 0 {
+		scale = 8000
+	}
+	c.Users = scale
+	c.FraudRatio = 989728.0 / 1072205.0
+	c.CleanProfileFrac = 0.10
+	c.DirtyShift = 1.5
+	c.SoloFraudFrac = 0.30 // rejected applicants are mostly independent
+	c.RingSizeMin = 5
+	c.RingSizeMax = 16
+	return c
+}
+
+// Tiny returns a fast configuration for unit tests.
+func Tiny() Config {
+	c := Default()
+	c.Name = "tiny"
+	c.Users = 300
+	c.FraudRatio = 0.10
+	c.SessionsNormalMin = 10
+	c.SessionsNormalMax = 20
+	c.SessionsFraudMin = 8
+	c.SessionsFraudMax = 16
+	c.Duration = 120 * 24 * time.Hour
+	return c
+}

@@ -1,0 +1,335 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/tensor"
+)
+
+// generator holds the mutable state of one Generate run.
+type generator struct {
+	cfg     Config
+	rng     *tensor.RNG
+	d       *Dataset
+	publics []place
+	cafes   []cafe
+}
+
+// cafe is an internet café / dormitory: shared devices plus a fixed
+// location, producing benign multi-type cliques among its regulars.
+type cafe struct {
+	devices []device
+	loc     place
+}
+
+// cafeOf deterministically assigns a user's café and regular status.
+func (g *generator) cafeOf(id int) (*cafe, bool) {
+	if len(g.cafes) == 0 || g.cfg.CafeRegularFrac <= 0 {
+		return nil, false
+	}
+	h := uint64(id) * 0x2545F4914F6CDD1D >> 16
+	if float64(h%1000)/1000 >= g.cfg.CafeRegularFrac {
+		return nil, false
+	}
+	return &g.cafes[int(h)%len(g.cafes)], true
+}
+
+// --- features -----------------------------------------------------------
+
+// normalFeatures draws X_u and X_τ from the normal-population model.
+func (g *generator) normalFeatures(u *User) {
+	r := g.rng
+	u.Profile = []float64{
+		35 + 8*r.NormFloat64(),               // age
+		650 + 65*r.NormFloat64(),             // credit score
+		200 * r.ExpFloat64(),                 // account age (days)
+		0.42 + 0.24*r.NormFloat64(),          // occupation score
+		8000 * math.Exp(0.5*r.NormFloat64()), // income
+		0.90 + 0.06*r.NormFloat64(),          // id verification score
+		math.Floor(3 * r.ExpFloat64()),       // historical transactions
+		0.36 + 0.20*r.NormFloat64(),          // region risk
+	}
+	u.Txn = []float64{
+		2200 * math.Exp(0.45*r.NormFloat64()), // item value
+		5 + float64(r.Intn(8)),                // lease term 5–12 months
+		0.052 + 0.02*r.NormFloat64(),          // rent-to-value
+		float64(8 + r.Intn(16)),               // apply hour 8–23
+		24 * 20 * r.ExpFloat64(),              // registration→apply hours
+		float64(r.Intn(3)),                    // channel
+	}
+	g.addNoise(u)
+}
+
+// fraudFeatures perturbs the normal model by DirtyShift-scaled offsets
+// unless the user is "clean" (packaged identity), in which case the
+// features are indistinguishable from normal and the fraud signal lives
+// only in the behavior graph.
+func (g *generator) fraudFeatures(u *User) {
+	g.normalFeatures(u)
+	if u.Clean {
+		return
+	}
+	r := g.rng
+	s := g.cfg.DirtyShift
+	u.Profile[0] -= s * 4                             // younger
+	u.Profile[1] -= s * 42                            // weaker credit
+	u.Profile[2] *= math.Exp(-s * 1.0)                // fresher accounts
+	u.Profile[3] -= s * 0.10                          // lower occupation score
+	u.Profile[4] *= math.Exp(-s * 0.25)               // lower declared income
+	u.Profile[5] -= s * 0.05                          // weaker id verification
+	u.Profile[6] = math.Floor(u.Profile[6] / (1 + s)) // fewer past transactions
+	u.Profile[7] += s * 0.12                          // riskier regions
+	u.Txn[0] *= math.Exp(s * 0.30)                    // pricier items
+	u.Txn[1] = math.Max(3, u.Txn[1]-s*1.5)            // shorter leases
+	u.Txn[2] += s * 0.012
+	if r.Float64() < 0.5*s { // half apply late at night
+		u.Txn[3] = float64((20 + r.Intn(10)) % 24)
+	}
+	u.Txn[4] *= math.Exp(-s * 1.0) // apply sooner after registration
+}
+
+func (g *generator) addNoise(u *User) {
+	scale := g.cfg.FeatureNoise
+	for i := range u.Profile {
+		u.Profile[i] += 0.05 * scale * math.Abs(u.Profile[i]) * g.rng.NormFloat64()
+	}
+	for i := range u.Txn {
+		u.Txn[i] += 0.05 * scale * math.Abs(u.Txn[i]) * g.rng.NormFloat64()
+	}
+}
+
+// --- logs ----------------------------------------------------------------
+
+// device is a phone with its tied identifiers.
+type device struct {
+	id, imei, imsi string
+}
+
+func ringDevice(name string) device {
+	return device{id: name, imei: "imei-" + name, imsi: "imsi-" + name}
+}
+
+// ownAssets are the per-user identifiers. Users own one to three devices
+// (hash-derived so the count is deterministic and label-free), plus a
+// household device shared with the 1–2 users of the same household —
+// benign device sharing is common (families, shared tablets), so a
+// shared Device ID alone must not be a perfect fraud indicator.
+type ownAssets struct {
+	devices   []device
+	household device
+	home      place
+	delivery  string
+}
+
+func (g *generator) assets(u *User) ownAssets {
+	id := int(u.ID)
+	n := 1
+	switch h := (uint64(id) * 0x9E3779B97F4A7C15 >> 33) % 10; {
+	case h >= 8:
+		n = 3
+	case h >= 5:
+		n = 2
+	}
+	a := ownAssets{
+		household: ringDevice(fmt.Sprintf("hhdev-%d", id/2)),
+		// Home network and location are shared per household (id/2), so
+		// cohabiting users co-occur on IP, Wi-Fi and GPS like ring
+		// members do on their den.
+		home:     place{ip: fmt.Sprintf("home-ip-%d", id/2), wifi: fmt.Sprintf("home-wifi-%d", id/2), cell: fmt.Sprintf("home-cell-%d", id/6)},
+		delivery: fmt.Sprintf("del-%d", id),
+	}
+	for k := 0; k < n; k++ {
+		a.devices = append(a.devices, ringDevice(fmt.Sprintf("dev-%d-%d", id, k)))
+	}
+	return a
+}
+
+// pickDevice selects a session device: usually one of the user's own,
+// sometimes the shared household device.
+func (g *generator) pickDevice(a ownAssets) device {
+	if g.rng.Float64() < 0.12 {
+		return a.household
+	}
+	return a.devices[g.rng.Intn(len(a.devices))]
+}
+
+func (g *generator) emit(u behavior.UserID, t behavior.Type, value string, at time.Time) {
+	if at.Before(g.d.Start) {
+		at = g.d.Start
+	}
+	if at.After(g.d.End) {
+		at = g.d.End
+	}
+	g.d.Logs = append(g.d.Logs, behavior.Log{User: u, Type: t, Value: value, Time: at})
+}
+
+// session emits the logs of one app session: device identifiers plus the
+// network/location context of the place, with a little within-session
+// timestamp spread.
+func (g *generator) session(u *User, dev device, loc place, precise string, at time.Time) {
+	r := g.rng
+	step := func() time.Time {
+		at = at.Add(time.Duration(r.Intn(120)) * time.Second)
+		return at
+	}
+	g.emit(u.ID, behavior.DeviceID, dev.id, step())
+	g.emit(u.ID, behavior.IMEI, dev.imei, step())
+	g.emit(u.ID, behavior.IMSI, dev.imsi, step())
+	g.emit(u.ID, behavior.IPv4, loc.ip, step())
+	if loc.wifi != "" {
+		g.emit(u.ID, behavior.WiFiMAC, loc.wifi, step())
+	}
+	g.emit(u.ID, behavior.GPS100, loc.cell, step())
+	if precise != "" {
+		g.emit(u.ID, behavior.GPS, precise, step())
+	}
+}
+
+// activitySessions emits n ordinary app sessions for user u spread over
+// [from, to): home, workplace, public places and (for café regulars)
+// shared café machines. When clusterNearApp is set, a share of the
+// sessions lands around application time, as real applicants explore the
+// app before and after applying.
+func (g *generator) activitySessions(u *User, a ownAssets, n int, from, to time.Time, workplace string, workLoc place, clusterNearApp bool) {
+	r := g.rng
+	if to.After(g.d.End) {
+		to = g.d.End
+	}
+	span := to.Sub(from)
+	if span <= 0 {
+		return
+	}
+	cafeHome, regular := g.cafeOf(int(u.ID))
+	for s := 0; s < n; s++ {
+		at := from.Add(time.Duration(r.Float64() * float64(span)))
+		if clusterNearApp && r.Float64() < 0.35 {
+			at = u.AppTime.Add(time.Duration((r.Float64() - 0.4) * 4 * 24 * float64(time.Hour)))
+		}
+		dev := g.pickDevice(a)
+		switch {
+		case regular && r.Float64() < 0.45: // at the café, on a shared machine
+			g.session(u, cafeHome.devices[r.Intn(len(cafeHome.devices))], cafeHome.loc, cafeHome.loc.cell+"-fine", at)
+		case r.Float64() < g.cfg.PublicVisitProb:
+			loc := g.publics[r.Intn(len(g.publics))]
+			g.session(u, dev, loc, "", at)
+		case r.Float64() < 0.35: // at work
+			g.session(u, dev, workLoc, "", at)
+			g.emit(u.ID, behavior.Workplace, workplace, at)
+		default: // at home
+			precise := a.home.cell + "-fine-" + fmt.Sprint(int(u.ID)/2)
+			g.session(u, dev, a.home, precise, at)
+		}
+	}
+}
+
+// normalLogs spreads sessions over the user's leasing period (Fig. 4a)
+// and emits the application/delivery behaviors.
+func (g *generator) normalLogs(u *User, workplace string, workLoc place) {
+	r := g.rng
+	a := g.assets(u)
+	nSessions := g.cfg.SessionsNormalMin
+	if g.cfg.SessionsNormalMax > g.cfg.SessionsNormalMin {
+		nSessions += r.Intn(g.cfg.SessionsNormalMax - g.cfg.SessionsNormalMin + 1)
+	}
+	g.activitySessions(u, a, nSessions,
+		u.AppTime.Add(-30*24*time.Hour), u.AppTime.Add(120*24*time.Hour),
+		workplace, workLoc, true)
+	// The application session adds the delivery address behaviors.
+	g.session(u, a.devices[0], a.home, "", u.AppTime)
+	g.emit(u.ID, behavior.GPSDev, a.delivery, u.AppTime)
+	g.emit(u.ID, behavior.GPSDev100, "delcell-"+fmt.Sprint(int(u.ID)/5), u.AppTime)
+}
+
+// burstTime draws a triangular-ish offset around the application time.
+func (g *generator) burstTime(u *User) time.Time {
+	off := time.Duration((g.rng.Float64() + g.rng.Float64() - 1) * float64(g.cfg.FraudBurst))
+	return u.AppTime.Add(off)
+}
+
+func (g *generator) fraudSessionCount() int {
+	n := g.cfg.SessionsFraudMin
+	if g.cfg.SessionsFraudMax > g.cfg.SessionsFraudMin {
+		n += g.rng.Intn(g.cfg.SessionsFraudMax - g.cfg.SessionsFraudMin + 1)
+	}
+	return n
+}
+
+// fraudLogs bursts sessions around application time (Fig. 4b). Ring
+// members operate from the ring's den and share ring devices (unless the
+// ring is careful) and delivery addresses; memberRank fixes each
+// member's primary shared device so per-user device counts stay in the
+// normal range. Most fraud accounts are stolen or "packaged" identities
+// with months of genuine history, so the burst sits on top of an
+// ordinary activity background — local structure statistics (degree,
+// clustering) alone cannot separate them.
+func (g *generator) fraudLogs(u *User, r *ring, memberRank int, workplace string, workLoc place) {
+	rng := g.rng
+	a := g.assets(u)
+	if rng.Float64() < g.cfg.FraudBackgroundFrac {
+		nBg := (g.cfg.SessionsNormalMin + rng.Intn(g.cfg.SessionsNormalMax-g.cfg.SessionsNormalMin+1)) / 2
+		g.activitySessions(u, a, nBg,
+			u.AppTime.Add(-120*24*time.Hour), u.AppTime,
+			workplace, workLoc, false)
+	}
+	den := place{ip: r.ip, wifi: r.wifi, cell: r.cell}
+	primary := ringDevice(r.devices[memberRank%len(r.devices)])
+	for s, n := 0, g.fraudSessionCount(); s < n; s++ {
+		at := g.burstTime(u)
+		dev := a.devices[0]
+		if !r.careful && rng.Float64() < 0.70 {
+			dev = primary
+		}
+		switch {
+		case rng.Float64() < 0.65: // operating from the den
+			precise := r.cell + "-fine-den"
+			g.session(u, dev, den, precise, at)
+			if !r.careful && rng.Float64() < 0.3 {
+				g.emit(u.ID, behavior.Workplace, r.workplace, at)
+			}
+		case rng.Float64() < 0.5: // public place, mixing with normals
+			loc := g.publics[rng.Intn(len(g.publics))]
+			g.session(u, dev, loc, "", at)
+		default:
+			g.session(u, dev, a.home, "", at)
+		}
+	}
+	// Application session: shared delivery address most of the time.
+	g.session(u, a.devices[0], den, "", u.AppTime)
+	del, delCell := a.delivery, "delcell-"+fmt.Sprint(int(u.ID)/5)
+	if rng.Float64() < 0.7 {
+		del = r.delivery[rng.Intn(len(r.delivery))]
+		delCell = "delcell-" + del
+	}
+	g.emit(u.ID, behavior.GPSDev, del, u.AppTime)
+	g.emit(u.ID, behavior.GPSDev100, delCell, u.AppTime)
+}
+
+// soloLogs is a lone fraudster: the same burst pattern, but entirely on
+// personal assets, so the behavior graph carries no ring signal.
+func (g *generator) soloLogs(u *User, workplace string, workLoc place) {
+	rng := g.rng
+	a := g.assets(u)
+	if rng.Float64() < g.cfg.FraudBackgroundFrac {
+		nBg := (g.cfg.SessionsNormalMin + rng.Intn(g.cfg.SessionsNormalMax-g.cfg.SessionsNormalMin+1)) / 2
+		g.activitySessions(u, a, nBg,
+			u.AppTime.Add(-120*24*time.Hour), u.AppTime,
+			workplace, workLoc, false)
+	}
+	for s, n := 0, g.fraudSessionCount(); s < n; s++ {
+		at := g.burstTime(u)
+		dev := g.pickDevice(a)
+		if rng.Float64() < 0.3 {
+			loc := g.publics[rng.Intn(len(g.publics))]
+			g.session(u, dev, loc, "", at)
+		} else {
+			precise := a.home.cell + "-fine-" + fmt.Sprint(int(u.ID))
+			g.session(u, dev, a.home, precise, at)
+		}
+	}
+	g.session(u, a.devices[0], a.home, "", u.AppTime)
+	g.emit(u.ID, behavior.GPSDev, a.delivery, u.AppTime)
+	g.emit(u.ID, behavior.GPSDev100, "delcell-"+fmt.Sprint(int(u.ID)/5), u.AppTime)
+}

@@ -1,0 +1,289 @@
+package datagen
+
+import (
+	"fmt"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/tensor"
+)
+
+// User is one synthetic user with exactly one leasing application.
+type User struct {
+	ID      behavior.UserID
+	Fraud   bool
+	Ring    int  // ring index, -1 for normal users
+	Clean   bool // fraudster with a packaged (normal-looking) profile
+	AppTime time.Time
+	Profile []float64 // X_u (profile + credit features)
+	Txn     []float64 // X_τ (application features)
+}
+
+// Features returns the concatenated X_{u+τ} vector used by all models.
+func (u *User) Features() []float64 {
+	out := make([]float64, 0, len(u.Profile)+len(u.Txn))
+	out = append(out, u.Profile...)
+	return append(out, u.Txn...)
+}
+
+// ProfileFeatureNames names the X_u dimensions.
+func ProfileFeatureNames() []string {
+	return []string{
+		"age", "credit_score", "account_age_days", "occupation_score",
+		"income", "id_verify_score", "historical_txns", "region_risk",
+	}
+}
+
+// TxnFeatureNames names the X_τ dimensions.
+func TxnFeatureNames() []string {
+	return []string{
+		"item_value", "lease_term_months", "rent_to_value",
+		"apply_hour", "reg_to_apply_hours", "channel",
+	}
+}
+
+// NumFeatures is the dimensionality of X_{u+τ}.
+func NumFeatures() int { return len(ProfileFeatureNames()) + len(TxnFeatureNames()) }
+
+// Dataset is a fully generated world.
+type Dataset struct {
+	Config Config
+	Users  []User
+	Logs   []behavior.Log
+	Start  time.Time
+	End    time.Time
+}
+
+// Store loads all logs into a fresh behavior store.
+func (d *Dataset) Store() *behavior.Store {
+	s := behavior.NewStore()
+	s.AppendBatch(d.Logs)
+	return s
+}
+
+// Labels maps each user to its fraud label.
+func (d *Dataset) Labels() map[behavior.UserID]bool {
+	m := make(map[behavior.UserID]bool, len(d.Users))
+	for i := range d.Users {
+		m[d.Users[i].ID] = d.Users[i].Fraud
+	}
+	return m
+}
+
+// UserByID returns the user with the given ID, or nil.
+func (d *Dataset) UserByID(id behavior.UserID) *User {
+	i := int(id)
+	if i < 0 || i >= len(d.Users) {
+		return nil
+	}
+	return &d.Users[i]
+}
+
+// Positives counts fraud users.
+func (d *Dataset) Positives() int {
+	n := 0
+	for i := range d.Users {
+		if d.Users[i].Fraud {
+			n++
+		}
+	}
+	return n
+}
+
+// ring groups fraudsters sharing assets and a campaign time.
+type ring struct {
+	members   []int // sequential fraud indices
+	campaign  time.Time
+	careful   bool // avoids sharing deterministic identifiers
+	devices   []string
+	ip        string
+	wifi      string
+	cell      string
+	delivery  []string
+	workplace string
+}
+
+// place is a location a session can happen at.
+type place struct {
+	ip, wifi, cell string
+}
+
+// Generate builds the synthetic world deterministically from cfg.Seed.
+func Generate(cfg Config) *Dataset {
+	rng := tensor.NewRNG(cfg.Seed)
+	d := &Dataset{Config: cfg, Start: cfg.Start, End: cfg.Start.Add(cfg.Duration)}
+
+	nFraud := int(float64(cfg.Users)*cfg.FraudRatio + 0.5)
+	nNormal := cfg.Users - nFraud
+
+	// Shared public infrastructure: the probabilistic noisy cliques.
+	nWiFi := max(1, cfg.Users/cfg.PublicWiFiPerUsers)
+	nWork := max(1, cfg.Users/cfg.WorkplacePerUsers)
+	publics := make([]place, nWiFi)
+	for i := range publics {
+		publics[i] = place{
+			ip:   fmt.Sprintf("pub-ip-%d", i),
+			wifi: fmt.Sprintf("pub-wifi-%d", i),
+			cell: fmt.Sprintf("pub-cell-%d", i%max(1, nWiFi/2)),
+		}
+	}
+	type workSite struct {
+		name string
+		loc  place
+	}
+	works := make([]workSite, nWork)
+	for i := range works {
+		works[i] = workSite{
+			name: fmt.Sprintf("corp-%d", i),
+			loc:  place{ip: fmt.Sprintf("corp-ip-%d", i), wifi: fmt.Sprintf("corp-wifi-%d", i), cell: fmt.Sprintf("corp-cell-%d", i)},
+		}
+	}
+	var cafes []cafe
+	if cfg.CafePerUsers > 0 {
+		for i := 0; i < max(1, cfg.Users/cfg.CafePerUsers); i++ {
+			c := cafe{loc: place{ip: fmt.Sprintf("cafe-ip-%d", i), wifi: fmt.Sprintf("cafe-wifi-%d", i), cell: fmt.Sprintf("cafe-cell-%d", i)}}
+			for k := 0; k < 3+rng.Intn(4); k++ {
+				c.devices = append(c.devices, ringDevice(fmt.Sprintf("cafe-dev-%d-%d", i, k)))
+			}
+			cafes = append(cafes, c)
+		}
+	}
+
+	// Application window keeps room for pre/post activity.
+	appFrom := d.Start.Add(30 * 24 * time.Hour)
+	appSpan := d.End.Add(-60 * 24 * time.Hour).Sub(appFrom)
+	if appSpan <= 0 {
+		appFrom = d.Start
+		appSpan = cfg.Duration / 2
+	}
+
+	// Sequential fraud indices [0, nDefault) are ordinary defaulters,
+	// [nDefault, nDefault+nSolo) operate alone, and the rest are grouped
+	// into rings, a fraction of which are "careful".
+	nDefault := int(float64(nFraud)*cfg.DefaulterFrac + 0.5)
+	nSolo := int(float64(nFraud)*cfg.SoloFraudFrac + 0.5)
+	if nDefault+nSolo > nFraud {
+		nSolo = nFraud - nDefault
+	}
+	var rings []ring
+	assigned := nDefault + nSolo
+	for assigned < nFraud {
+		size := cfg.RingSizeMin
+		if cfg.RingSizeMax > cfg.RingSizeMin {
+			size += rng.Intn(cfg.RingSizeMax - cfg.RingSizeMin + 1)
+		}
+		if assigned+size > nFraud {
+			size = nFraud - assigned
+		}
+		ri := len(rings)
+		r := ring{
+			campaign:  appFrom.Add(time.Duration(rng.Float64() * float64(appSpan))),
+			careful:   rng.Float64() < cfg.CarefulRingFrac,
+			ip:        fmt.Sprintf("ring-ip-%d", ri),
+			wifi:      fmt.Sprintf("ring-wifi-%d", ri),
+			cell:      fmt.Sprintf("ring-cell-%d", ri),
+			workplace: fmt.Sprintf("ring-corp-%d", ri),
+		}
+		nDev := 1 + rng.Intn(3)
+		for k := 0; k < nDev; k++ {
+			r.devices = append(r.devices, fmt.Sprintf("ring-dev-%d-%d", ri, k))
+		}
+		nDel := 1 + rng.Intn(2)
+		for k := 0; k < nDel; k++ {
+			r.delivery = append(r.delivery, fmt.Sprintf("ring-del-%d-%d", ri, k))
+		}
+		for k := 0; k < size; k++ {
+			r.members = append(r.members, assigned+k)
+		}
+		rings = append(rings, r)
+		assigned += size
+	}
+
+	// User IDs are positional; fraudsters are assigned to shuffled
+	// positions so ID order carries no label information.
+	d.Users = make([]User, cfg.Users)
+	for i := range d.Users {
+		d.Users[i].ID = behavior.UserID(i)
+		d.Users[i].Ring = -1
+	}
+	fraudPos := rng.Perm(cfg.Users)[:nFraud]
+	isFraudPos := make(map[int]int, nFraud) // position -> sequential fraud index
+	for seq, pos := range fraudPos {
+		isFraudPos[pos] = seq
+	}
+	// Map sequential fraud index -> (ring index, member rank);
+	// defaulters get -2 and solo fraudsters -1.
+	ringOf := make([]int, nFraud)
+	rankOf := make([]int, nFraud)
+	for i := 0; i < nDefault; i++ {
+		ringOf[i] = -2
+	}
+	for i := nDefault; i < nDefault+nSolo; i++ {
+		ringOf[i] = -1
+	}
+	for ri, r := range rings {
+		for rank, seq := range r.members {
+			ringOf[seq] = ri
+			rankOf[seq] = rank
+		}
+	}
+
+	gen := &generator{cfg: cfg, rng: rng, d: d, publics: publics, cafes: cafes}
+	normalSeen := 0
+	for pos := 0; pos < cfg.Users; pos++ {
+		u := &d.Users[pos]
+		if seq, ok := isFraudPos[pos]; ok {
+			u.Fraud = true
+			u.Clean = rng.Float64() < cfg.CleanProfileFrac
+			// Fraud accounts carry a genuine workplace background too.
+			site := &works[normalSeen%len(works)]
+			normalSeen++
+			switch ri := ringOf[seq]; {
+			case ri >= 0:
+				r := &rings[ri]
+				u.Ring = ri
+				u.AppTime = clampTime(jitter(rng, r.campaign, cfg.RingCampaignSpread), appFrom, appFrom.Add(appSpan))
+				gen.fraudFeatures(u)
+				gen.fraudLogs(u, r, rankOf[seq], site.name, site.loc)
+			case ri == -1: // solo fraudster
+				u.AppTime = appFrom.Add(time.Duration(rng.Float64() * float64(appSpan)))
+				gen.fraudFeatures(u)
+				gen.soloLogs(u, site.name, site.loc)
+			default: // ordinary defaulter: indistinguishable from normal
+				u.Clean = true
+				u.AppTime = appFrom.Add(time.Duration(rng.Float64() * float64(appSpan)))
+				gen.normalFeatures(u)
+				gen.normalLogs(u, site.name, site.loc)
+			}
+		} else {
+			u.AppTime = appFrom.Add(time.Duration(rng.Float64() * float64(appSpan)))
+			site := &works[normalSeen%len(works)]
+			normalSeen++
+			gen.normalFeatures(u)
+			gen.normalLogs(u, site.name, site.loc)
+		}
+	}
+	_ = nNormal // implied by cfg.Users - nFraud; kept for readability
+	return d
+}
+
+func jitter(rng *tensor.RNG, t time.Time, spread time.Duration) time.Time {
+	return t.Add(time.Duration((rng.Float64() - 0.5) * 2 * float64(spread)))
+}
+
+func clampTime(t, lo, hi time.Time) time.Time {
+	if t.Before(lo) {
+		return lo
+	}
+	if t.After(hi) {
+		return hi
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+// Package eval is the experiment harness: it assembles datasets (synthetic
+// world → behavior store → BN → features), runs every method of §VI-A,
+// and regenerates the paper's tables and figure series as typed results
+// with text renderers. cmd/turbo-bench and bench_test.go are thin
+// wrappers over this package.
+package eval
+
+import (
+	"math"
+	"time"
+
+	"turbo/internal/baselines"
+	"turbo/internal/behavior"
+	"turbo/internal/bn"
+	"turbo/internal/datagen"
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+	"turbo/internal/tensor"
+)
+
+// Assembled is a dataset prepared for experiments: the generated world,
+// its behavior store, the constructed BN, per-user feature rows
+// (X_u ⊕ X_τ ⊕ X_s, z-scored on the training split), labels, and the
+// 80/20 UID split of §VI-A.
+type Assembled struct {
+	Data  *datagen.Dataset
+	Store *behavior.Store
+	Graph *graph.Graph
+	Feat  *feature.Service
+
+	Nodes  []graph.NodeID // node i is user ID i
+	X      *tensor.Matrix // standardized features
+	RawX   *tensor.Matrix
+	Norm   *Normalizer // fitted on the train split; reused online
+	Labels []float64
+	Bools  []bool
+
+	TrainIdx []int
+	TestIdx  []int
+}
+
+// AssembleOptions tweaks assembly.
+type AssembleOptions struct {
+	// SplitSeed drives the train/test split; 0 selects 1.
+	SplitSeed uint64
+	// TestFrac is the test fraction; 0 selects 0.2.
+	TestFrac float64
+	// BN overrides the BN construction config (zero value = defaults).
+	BN bn.Config
+}
+
+// Assemble generates the world for cfg and prepares every experiment
+// input. The BN is built over the full observation range with Algorithm 1
+// defaults; statistical features are computed at each user's audit time
+// (application time + 24 h, §VI-A).
+func Assemble(cfg datagen.Config, opts AssembleOptions) *Assembled {
+	return AssembleDataset(datagen.Generate(cfg), opts)
+}
+
+// AssembleDataset prepares experiment inputs from an existing dataset
+// (e.g. one loaded from the turbo-datagen JSONL files).
+func AssembleDataset(data *datagen.Dataset, opts AssembleOptions) *Assembled {
+	if opts.SplitSeed == 0 {
+		opts.SplitSeed = 1
+	}
+	if opts.TestFrac == 0 {
+		opts.TestFrac = 0.2
+	}
+	store := data.Store()
+
+	g := graph.New(behavior.NumTypes)
+	builder, err := bn.NewBuilder(opts.BN, store, g, data.Start)
+	if err != nil {
+		panic(err) // defaults are always valid; a caller bug otherwise
+	}
+	builder.BuildRange(data.Start, data.End.Add(24*time.Hour))
+
+	feat := feature.NewService(feature.Config{}, store)
+	n := len(data.Users)
+	a := &Assembled{Data: data, Store: store, Graph: g, Feat: feat}
+	a.Nodes = make([]graph.NodeID, n)
+	a.Labels = make([]float64, n)
+	a.Bools = make([]bool, n)
+	dim := datagen.NumFeatures() + feature.NumStatFeatures()
+	a.RawX = tensor.New(n, dim)
+	for i := range data.Users {
+		u := &data.Users[i]
+		a.Nodes[i] = graph.NodeID(u.ID)
+		g.AddNode(graph.NodeID(u.ID)) // isolated users still classified
+		if u.Fraud {
+			a.Labels[i] = 1
+			a.Bools[i] = true
+		}
+		if err := feat.PutProfile(u.ID, u.Features()); err != nil {
+			panic(err)
+		}
+		vec, err := feat.Vector(u.ID, u.AppTime.Add(24*time.Hour))
+		if err != nil {
+			panic(err)
+		}
+		copy(a.RawX.Row(i), vec)
+	}
+
+	// 80/20 split by UID.
+	rng := tensor.NewRNG(opts.SplitSeed)
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * opts.TestFrac)
+	a.TestIdx = append([]int(nil), perm[:nTest]...)
+	a.TrainIdx = append([]int(nil), perm[nTest:]...)
+
+	a.Norm = FitNormalizer(a.RawX, a.TrainIdx)
+	a.X = a.Norm.ApplyMatrix(a.RawX)
+	return a
+}
+
+// standardizeOnTrain z-scores every column using statistics of the
+// training rows only (fit + apply in one step).
+func standardizeOnTrain(x *tensor.Matrix, trainIdx []int) *tensor.Matrix {
+	return FitNormalizer(x, trainIdx).ApplyMatrix(x)
+}
+
+// FullBatch compiles the whole BN (restricted to user nodes, which is
+// all nodes here) into a GNN batch whose node order matches a.Nodes.
+func (a *Assembled) FullBatch() *gnn.Batch {
+	sg := a.fullSubgraph(graph.NoMask, false)
+	return gnn.NewBatch(sg, a.X)
+}
+
+// FullBatchRaw is FullBatch without the §III-A symmetric edge-weight
+// normalization (the normalization ablation bench).
+func (a *Assembled) FullBatchRaw() *gnn.Batch {
+	sg := a.fullSubgraph(graph.NoMask, true)
+	return gnn.NewBatch(sg, a.X)
+}
+
+// MaskedBatch compiles the BN with one edge type removed (Fig. 7).
+func (a *Assembled) MaskedBatch(t behavior.Type) *gnn.Batch {
+	sg := a.fullSubgraph(graph.MaskEdgeType(graph.EdgeType(t)), false)
+	return gnn.NewBatch(sg, a.X)
+}
+
+// fullSubgraph builds a Subgraph containing every user node in a.Nodes
+// order with all (unmasked) typed edges.
+func (a *Assembled) fullSubgraph(mask graph.EdgeMask, rawWeights bool) *graph.Subgraph {
+	sg := &graph.Subgraph{
+		Nodes:      append([]graph.NodeID(nil), a.Nodes...),
+		Index:      make(map[graph.NodeID]int, len(a.Nodes)),
+		TypedEdges: make([][]graph.LocalEdge, a.Graph.NumEdgeTypes()),
+		Hops:       make([]int, len(a.Nodes)),
+	}
+	for i, id := range sg.Nodes {
+		sg.Index[id] = i
+	}
+	masked := -1
+	if mask != graph.NoMask {
+		masked = int(mask) - 1
+	}
+	for t := 0; t < a.Graph.NumEdgeTypes(); t++ {
+		if t == masked {
+			continue
+		}
+		// Typed weighted degrees for the §III-A normalization.
+		for i, u := range sg.Nodes {
+			du := a.Graph.TypedWeightedDegree(u, graph.EdgeType(t))
+			if du == 0 {
+				continue
+			}
+			for _, nb := range a.Graph.NeighborsByType(u, graph.EdgeType(t)) {
+				j, ok := sg.Index[nb.Node]
+				if !ok {
+					continue
+				}
+				w := nb.Weight
+				if !rawWeights {
+					dv := a.Graph.TypedWeightedDegree(nb.Node, graph.EdgeType(t))
+					if dv == 0 {
+						continue
+					}
+					w = nb.Weight / math.Sqrt(du*dv)
+				}
+				sg.TypedEdges[t] = append(sg.TypedEdges[t], graph.LocalEdge{Src: i, Dst: j, Weight: w})
+			}
+		}
+	}
+	return sg
+}
+
+// TestLabels returns the boolean labels of the test split, aligned with
+// the scores produced by ScoresAt.
+func (a *Assembled) TestLabels() []bool {
+	out := make([]bool, len(a.TestIdx))
+	for k, i := range a.TestIdx {
+		out[k] = a.Bools[i]
+	}
+	return out
+}
+
+// ScoresAt gathers per-node scores at the test indices.
+func (a *Assembled) ScoresAt(scores []float64) []float64 {
+	out := make([]float64, len(a.TestIdx))
+	for k, i := range a.TestIdx {
+		out[k] = scores[i]
+	}
+	return out
+}
+
+// FeatureRows selects standardized feature rows for the given indices.
+func (a *Assembled) FeatureRows(idx []int) *tensor.Matrix { return a.X.SelectRows(idx) }
+
+// LabelsAt selects labels for the given indices.
+func (a *Assembled) LabelsAt(idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = a.Labels[i]
+	}
+	return out
+}
+
+// GraphFeatureMatrix builds [standardized original ; BLP graph features]
+// rows for all nodes, z-scored on the train split.
+func (a *Assembled) GraphFeatureMatrix(withOriginal bool) *tensor.Matrix {
+	gf := baselines.GraphFeatures(a.Graph, a.Nodes)
+	var m *tensor.Matrix
+	if withOriginal {
+		m = a.RawX.ConcatCols(gf)
+	} else {
+		m = gf
+	}
+	return standardizeOnTrain(m, a.TrainIdx)
+}

@@ -1,0 +1,28 @@
+package eval
+
+import (
+	"os"
+	"testing"
+
+	"turbo/internal/datagen"
+)
+
+// TestHAGBeatsBLPAtScale is the Table III headline assertion: with
+// benign household device sharing in the world, flat graph features
+// (BLP) lose their free lunch and HAG must lead on F1. Gated behind an
+// env var because it trains at default scale (minutes).
+func TestHAGBeatsBLPAtScale(t *testing.T) {
+	if os.Getenv("TURBO_SCALE_TESTS") == "" {
+		t.Skip("set TURBO_SCALE_TESTS=1 to run the default-scale ordering check")
+	}
+	a := Assemble(datagen.Default(), AssembleOptions{})
+	h := DefaultHyper()
+	h.Epochs = 80
+	blp := RunBLP(a, h, 1)
+	t.Logf("BLP: %v", blp)
+	hag := RunHAG(a, HAGFull, h, 1)
+	t.Logf("HAG: %v", hag)
+	if hag.F1 <= blp.F1 {
+		t.Fatalf("Table III shape violated: HAG F1 %v <= BLP F1 %v", hag.F1, blp.F1)
+	}
+}

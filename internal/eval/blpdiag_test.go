@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"os"
+	"testing"
+
+	"turbo/internal/baselines"
+	"turbo/internal/datagen"
+	"turbo/internal/metrics"
+	"turbo/internal/tensor"
+)
+
+// TestBLPFeatureDiagnostic dissects which feature block powers BLP:
+// original features only, graph features only, and per-graph-feature
+// single-column AUCs. Diagnostic tool, gated behind the same env var as
+// the scale check.
+func TestBLPFeatureDiagnostic(t *testing.T) {
+	if os.Getenv("TURBO_SCALE_TESTS") == "" {
+		t.Skip("set TURBO_SCALE_TESTS=1 to run")
+	}
+	a := Assemble(datagen.Default(), AssembleOptions{})
+	h := DefaultHyper()
+
+	run := func(name string, x *tensor.Matrix) {
+		clf := &baselines.GBDT{Balance: true, Seed: 1}
+		clf.Fit(x.SelectRows(a.TrainIdx), a.LabelsAt(a.TrainIdx))
+		r := a.EvaluateScores(clf.PredictProba(x), h.Threshold)
+		t.Logf("%-16s %v", name, r)
+	}
+	run("original-only", a.X)
+	run("graph-only", a.GraphFeatureMatrix(false))
+	run("orig+graph", a.GraphFeatureMatrix(true))
+
+	// Single graph-feature AUCs (no training needed: use the raw column
+	// as the score).
+	gf := baselines.GraphFeatures(a.Graph, a.Nodes)
+	names := baselines.GraphFeatureNames(a.Graph.NumEdgeTypes())
+	labels := a.TestLabels()
+	for j, name := range names {
+		col := make([]float64, len(a.TestIdx))
+		for k, i := range a.TestIdx {
+			col[k] = gf.At(i, j)
+		}
+		auc := aucOf(col, labels)
+		if auc > 0.7 || auc < 0.3 {
+			t.Logf("column %-22s AUC %.3f", name, auc)
+		}
+	}
+}
+
+func aucOf(scores []float64, labels []bool) float64 {
+	return metrics.AUC(scores, labels)
+}

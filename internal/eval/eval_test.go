@@ -1,0 +1,354 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/datagen"
+	"turbo/internal/tensor"
+)
+
+// tinyAssembled is shared across eval tests (assembly is the slow part).
+var tinyAssembled *Assembled
+
+func getTiny(t *testing.T) *Assembled {
+	t.Helper()
+	if tinyAssembled == nil {
+		tinyAssembled = Assemble(datagen.Tiny(), AssembleOptions{})
+	}
+	return tinyAssembled
+}
+
+func fastHyper() Hyper {
+	return Hyper{Hidden: []int{12, 6}, AttHidden: 6, MLPHidden: 6, Epochs: 40, LR: 1e-2}
+}
+
+func TestAssembleSplitInvariants(t *testing.T) {
+	a := getTiny(t)
+	n := len(a.Data.Users)
+	if len(a.TrainIdx)+len(a.TestIdx) != n {
+		t.Fatal("split does not cover all users")
+	}
+	seen := make(map[int]bool, n)
+	for _, i := range append(append([]int{}, a.TrainIdx...), a.TestIdx...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice in split", i)
+		}
+		seen[i] = true
+	}
+	wantTest := int(0.2 * float64(n))
+	if len(a.TestIdx) != wantTest {
+		t.Fatalf("test size %d want %d", len(a.TestIdx), wantTest)
+	}
+}
+
+func TestAssembleLabelsMatchWorld(t *testing.T) {
+	a := getTiny(t)
+	for i := range a.Data.Users {
+		if a.Bools[i] != a.Data.Users[i].Fraud {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		if (a.Labels[i] == 1) != a.Bools[i] {
+			t.Fatalf("float/bool label mismatch at %d", i)
+		}
+	}
+}
+
+func TestAssembleFeatureStandardization(t *testing.T) {
+	a := getTiny(t)
+	// Train columns should be ~zero mean, ~unit std.
+	for j := 0; j < a.X.Cols; j++ {
+		var s, sq float64
+		for _, i := range a.TrainIdx {
+			v := a.X.At(i, j)
+			s += v
+			sq += v * v
+		}
+		n := float64(len(a.TrainIdx))
+		mean := s / n
+		if math.Abs(mean) > 0.05 {
+			t.Fatalf("col %d train mean %v", j, mean)
+		}
+	}
+}
+
+func TestNormalizerApplyMatchesMatrix(t *testing.T) {
+	a := getTiny(t)
+	row := a.RawX.Row(3)
+	vec := a.Norm.Apply(row)
+	for j, v := range vec {
+		if math.Abs(v-a.X.At(3, j)) > 1e-12 {
+			t.Fatalf("normalizer mismatch at col %d: %v vs %v", j, v, a.X.At(3, j))
+		}
+	}
+}
+
+func TestNormalizerConstantColumn(t *testing.T) {
+	x := tensor.FromRows([][]float64{{5, 1}, {5, 3}})
+	n := FitNormalizer(x, []int{0, 1})
+	out := n.Apply([]float64{5, 2})
+	if out[0] != 0 {
+		t.Fatalf("constant column should center to 0: %v", out[0])
+	}
+}
+
+func TestFullBatchStructure(t *testing.T) {
+	a := getTiny(t)
+	b := a.FullBatch()
+	if b.NumNodes != len(a.Data.Users) {
+		t.Fatal("batch node count mismatch")
+	}
+	if b.NumEdgeTypes() != a.Graph.NumEdgeTypes() {
+		t.Fatal("edge type count mismatch")
+	}
+	// All typed edges appear in both directions (symmetric counts).
+	for typ, es := range b.TypedEdges {
+		dir := make(map[[2]int]bool)
+		for _, e := range es {
+			dir[[2]int{e.Src, e.Dst}] = true
+		}
+		for _, e := range es {
+			if !dir[[2]int{e.Dst, e.Src}] {
+				t.Fatalf("type %d edge %d->%d missing reverse", typ, e.Src, e.Dst)
+			}
+		}
+	}
+}
+
+func TestMaskedBatchDropsType(t *testing.T) {
+	a := getTiny(t)
+	full := a.FullBatch()
+	// Pick a type that actually has edges.
+	typ := -1
+	for i, es := range full.TypedEdges {
+		if len(es) > 0 {
+			typ = i
+			break
+		}
+	}
+	if typ < 0 {
+		t.Fatal("no edges in tiny BN")
+	}
+	masked := a.MaskedBatch(behavior.Type(typ))
+	if len(masked.TypedEdges[typ]) != 0 {
+		t.Fatal("masked type still has edges")
+	}
+}
+
+func TestScoresAtAndTestLabels(t *testing.T) {
+	a := getTiny(t)
+	scores := make([]float64, len(a.Data.Users))
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	sel := a.ScoresAt(scores)
+	labels := a.TestLabels()
+	if len(sel) != len(a.TestIdx) || len(labels) != len(a.TestIdx) {
+		t.Fatal("selection sizes wrong")
+	}
+	for k, i := range a.TestIdx {
+		if sel[k] != float64(i) || labels[k] != a.Bools[i] {
+			t.Fatalf("selection misaligned at %d", k)
+		}
+	}
+}
+
+func TestBurstConcentrationSeparatesClasses(t *testing.T) {
+	a := getTiny(t)
+	normal, fraud := a.BurstConcentration(36 * time.Hour)
+	if fraud < 0.5 {
+		t.Fatalf("fraud burst concentration too low: %v", fraud)
+	}
+	if fraud <= normal {
+		t.Fatalf("Fig 4a/b shape violated: fraud %v <= normal %v", fraud, normal)
+	}
+}
+
+func TestTimeBurstSeries(t *testing.T) {
+	a := getTiny(t)
+	s := a.TimeBurst(5)
+	if len(s.Normal) != 5 || len(s.Fraud) != 5 {
+		t.Fatalf("sampled %d/%d users", len(s.Normal), len(s.Fraud))
+	}
+	for _, offsets := range s.Fraud {
+		if len(offsets) == 0 {
+			t.Fatal("fraud user without logs")
+		}
+	}
+}
+
+func TestTemporalAggregationShape(t *testing.T) {
+	a := getTiny(t)
+	normal, fraud := a.TemporalAggregation(14, 5000)
+	// Aggregate across types with enough pairs.
+	var nShare, fShare, nTypes float64
+	for typ := range normal {
+		if normal[typ].Total < 50 || fraud[typ].Total < 50 {
+			continue
+		}
+		nShare += normal[typ].ShortIntervalShare(3)
+		fShare += fraud[typ].ShortIntervalShare(3)
+		nTypes++
+	}
+	if nTypes == 0 {
+		t.Skip("not enough pairs in tiny world")
+	}
+	if fShare/nTypes <= nShare/nTypes {
+		t.Fatalf("Fig 4c shape violated: fraud %v <= normal %v", fShare/nTypes, nShare/nTypes)
+	}
+}
+
+func TestHomophilyShape(t *testing.T) {
+	a := getTiny(t)
+	s := a.Homophily(2, 50, -1)
+	if s.Fraud[0] <= s.Normal[0] {
+		t.Fatalf("Fig 4d shape violated: fraud hop-1 ratio %v <= normal %v", s.Fraud[0], s.Normal[0])
+	}
+	if s.Fraud[1] >= s.Fraud[0] {
+		t.Fatalf("fraud ratio should decay with hops: %v", s.Fraud)
+	}
+}
+
+func TestStructuralDifferenceShape(t *testing.T) {
+	a := getTiny(t)
+	s := a.StructuralDifference(2, 50, true)
+	if s.Fraud[0] <= s.Normal[0] {
+		t.Fatalf("Fig 4i shape violated: fraud weighted degree %v <= normal %v", s.Fraud[0], s.Normal[0])
+	}
+}
+
+func TestRenderSeriesOutput(t *testing.T) {
+	out := RenderSeries("title", []float64{0.1, 0.2}, []float64{0.3, 0.4})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "0.3") {
+		t.Fatalf("render output %q", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "T", Rows: []TableRow{{Method: "X"}}}
+	out := tbl.String()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "X") || !strings.Contains(out, "AUC") {
+		t.Fatalf("table output %q", out)
+	}
+}
+
+func TestTable5OrderingOnTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	a := getTiny(t)
+	tbl := Table5(a, fastHyper(), []uint64{1})
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// The tiny world's test split holds too few positives for a stable
+	// HAG-vs-ablation ordering (that is asserted at default scale by the
+	// benchmark harness); here every variant must at least train to a
+	// far-better-than-chance AUC.
+	for _, r := range tbl.Rows {
+		if r.Mean.AUC < 0.65 {
+			t.Fatalf("%s AUC %v barely above chance", r.Method, r.Mean.AUC)
+		}
+	}
+}
+
+func TestCaseStudyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	a := getTiny(t)
+	cs := RunCaseStudy(a, Hyper{Hidden: []int{8}, AttHidden: 4, MLPHidden: 4, Epochs: 20, LR: 1e-2}, 1, 4)
+	n := cs.Subgraph.NumNodes()
+	if n == 0 || cs.Influence.Rows != n || len(cs.Fraud) != n || len(cs.Scores) != n {
+		t.Fatalf("case study shapes: n=%d", n)
+	}
+	if !cs.Fraud[0] {
+		t.Fatal("case study target should be a fraud node")
+	}
+	if cs.String() == "" {
+		t.Fatal("empty case study rendering")
+	}
+}
+
+func TestRunLatencyStudyColdSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	cfg := datagen.Tiny()
+	study := RunLatencyStudy(cfg, LatencyOptions{
+		Requests:  40,
+		DBLatency: 2 * time.Millisecond,
+		Hyper:     Hyper{Hidden: []int{8}, AttHidden: 4, MLPHidden: 4, Epochs: 10, LR: 1e-2},
+	})
+	cold := study.Cold["total"].Mean
+	warm := study.Warm["total"].Mean
+	if cold <= warm {
+		t.Fatalf("§V shape violated: cold %v should exceed warm %v", cold, warm)
+	}
+	if study.String() == "" {
+		t.Fatal("empty study rendering")
+	}
+}
+
+// TestInductiveTrainingEndToEnd runs the paper-faithful minibatch
+// pipeline: HAG trained on sampled neighborhoods and evaluated with
+// per-node computation subgraphs.
+func TestInductiveTrainingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	a := getTiny(t)
+	h := Hyper{Hidden: []int{8}, AttHidden: 4, MLPHidden: 4, Epochs: 8, LR: 1e-2}
+	r := RunHAGInductive(a, h, 1, 32)
+	if r.AUC < 0.6 {
+		t.Fatalf("inductive HAG AUC barely above chance: %v", r.AUC)
+	}
+}
+
+// TestABTestSimulation runs the §VI-E online A/B simulation end to end
+// on the tiny world and checks its headline shape: blocking at 0.85
+// reduces the fraud ratio of passing applications.
+func TestABTestSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	res := RunABTest(datagen.Tiny(), fastHyper(), 1)
+	if res.Applications == 0 {
+		t.Fatal("no live applications")
+	}
+	if res.Blocked > 0 && res.FraudRatioDrop <= 0 {
+		t.Fatalf("blocking should reduce the fraud ratio: %+v", res)
+	}
+	if res.Blocked > 0 && res.OnlinePrecision == 0 {
+		t.Fatalf("blocked applications but zero precision: %+v", res)
+	}
+	if res.Latency.Count == 0 {
+		t.Fatal("no audit latencies recorded")
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestScalabilityMonotonic checks the Fig. 8b shape on two scales:
+// training time grows with BN size.
+func TestScalabilityMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	h := Hyper{Hidden: []int{8}, AttHidden: 4, MLPHidden: 4, Epochs: 4, LR: 1e-2}
+	points := RunScalability(datagen.Tiny(), []int{1, 3}, h, 1)
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[1].Nodes <= points[0].Nodes {
+		t.Fatal("scale did not grow the BN")
+	}
+	if points[1].TrainEpoch <= points[0].TrainEpoch {
+		t.Fatalf("training time should grow with BN size: %v vs %v",
+			points[0].TrainEpoch, points[1].TrainEpoch)
+	}
+}

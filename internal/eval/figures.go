@@ -1,0 +1,257 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/graph"
+	"turbo/internal/tensor"
+)
+
+// TimeBurstSeries is the Fig. 4a/4b data: for each sampled user, the log
+// timestamps expressed in days relative to the user's application time.
+type TimeBurstSeries struct {
+	Normal [][]float64 // one offset slice per sampled normal user
+	Fraud  [][]float64
+}
+
+// TimeBurst samples up to perClass users per class and collects their
+// log-time offsets. Normal offsets should scatter over the lease period;
+// fraud offsets should concentrate near zero.
+func (a *Assembled) TimeBurst(perClass int) TimeBurstSeries {
+	var out TimeBurstSeries
+	for i := range a.Data.Users {
+		u := &a.Data.Users[i]
+		var dst *[][]float64
+		if u.Fraud {
+			if len(out.Fraud) >= perClass {
+				continue
+			}
+			dst = &out.Fraud
+		} else {
+			if len(out.Normal) >= perClass {
+				continue
+			}
+			dst = &out.Normal
+		}
+		logs := a.Store.UserLogs(u.ID)
+		offsets := make([]float64, 0, len(logs))
+		for _, l := range logs {
+			offsets = append(offsets, l.Time.Sub(u.AppTime).Hours()/24)
+		}
+		*dst = append(*dst, offsets)
+	}
+	return out
+}
+
+// BurstConcentration returns, for each class, the fraction of log events
+// within ±window of the owner's application time — a scalar summary of
+// Fig. 4a/4b used by tests and EXPERIMENTS.md.
+func (a *Assembled) BurstConcentration(window time.Duration) (normal, fraud float64) {
+	var nIn, nAll, fIn, fAll int
+	for i := range a.Data.Users {
+		u := &a.Data.Users[i]
+		for _, l := range a.Store.UserLogs(u.ID) {
+			d := l.Time.Sub(u.AppTime)
+			if d < 0 {
+				d = -d
+			}
+			if u.Fraud {
+				fAll++
+				if d <= window {
+					fIn++
+				}
+			} else {
+				nAll++
+				if d <= window {
+					nIn++
+				}
+			}
+		}
+	}
+	if nAll > 0 {
+		normal = float64(nIn) / float64(nAll)
+	}
+	if fAll > 0 {
+		fraud = float64(fIn) / float64(fAll)
+	}
+	return normal, fraud
+}
+
+// IntervalHistogram is one violin of Fig. 4c: the distribution of
+// pairwise same-behavior time intervals (in hours) for one behavior type
+// and one class, bucketed per day up to maxDays.
+type IntervalHistogram struct {
+	Type    behavior.Type
+	Buckets []int // count of pairs with interval in [i, i+1) days
+	Total   int
+}
+
+// TemporalAggregation computes Fig. 4c: for every behavior type, the
+// histograms of pairwise cross-user time intervals between logs sharing
+// the same (type, value), split into normal–normal and fraud–fraud
+// pairs. Pair enumeration per key is capped to bound cost.
+func (a *Assembled) TemporalAggregation(maxDays, maxPairsPerKey int) (normal, fraud []IntervalHistogram) {
+	labels := a.Data.Labels()
+	normal = make([]IntervalHistogram, behavior.NumTypes)
+	fraud = make([]IntervalHistogram, behavior.NumTypes)
+	for t := 0; t < behavior.NumTypes; t++ {
+		normal[t] = IntervalHistogram{Type: behavior.Type(t), Buckets: make([]int, maxDays)}
+		fraud[t] = IntervalHistogram{Type: behavior.Type(t), Buckets: make([]int, maxDays)}
+	}
+	a.Store.ForEachKey(func(k behavior.Key, logs []behavior.Log) {
+		pairs := 0
+		for i := 0; i < len(logs) && pairs < maxPairsPerKey; i++ {
+			for j := i + 1; j < len(logs) && pairs < maxPairsPerKey; j++ {
+				if logs[i].User == logs[j].User {
+					continue
+				}
+				pairs++
+				fi, fj := labels[logs[i].User], labels[logs[j].User]
+				var h *IntervalHistogram
+				switch {
+				case fi && fj:
+					h = &fraud[k.Type]
+				case !fi && !fj:
+					h = &normal[k.Type]
+				default:
+					continue // mixed pairs are not plotted in Fig. 4c
+				}
+				days := int(logs[j].Time.Sub(logs[i].Time).Hours() / 24)
+				if days < 0 {
+					days = -days
+				}
+				h.Total++
+				if days < len(h.Buckets) {
+					h.Buckets[days]++
+				}
+			}
+		}
+	})
+	return normal, fraud
+}
+
+// ShortIntervalShare summarizes an IntervalHistogram as the share of
+// pairs with interval < days (Fig. 4c's "burst at small intervals").
+func (h IntervalHistogram) ShortIntervalShare(days int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < days && i < len(h.Buckets); i++ {
+		n += h.Buckets[i]
+	}
+	return float64(n) / float64(h.Total)
+}
+
+// HomophilySeries is Fig. 4d (or 4e–g for a single edge type): mean
+// fraud ratio of the n-hop neighborhoods, per class.
+type HomophilySeries struct {
+	OnlyType int // -1 for all types
+	Normal   []float64
+	Fraud    []float64
+}
+
+// Homophily averages FraudRatioByHop over up to perClass sampled users
+// per class. onlyType < 0 uses all edge types.
+func (a *Assembled) Homophily(maxHops, perClass, onlyType int) HomophilySeries {
+	isFraud := func(n graph.NodeID) bool { return a.Bools[int(n)] }
+	out := HomophilySeries{
+		OnlyType: onlyType,
+		Normal:   make([]float64, maxHops),
+		Fraud:    make([]float64, maxHops),
+	}
+	var nN, nF int
+	rng := tensor.NewRNG(99)
+	for _, i := range rng.Perm(len(a.Data.Users)) {
+		u := &a.Data.Users[i]
+		if u.Fraud && nF >= perClass || !u.Fraud && nN >= perClass {
+			continue
+		}
+		ratios := a.Graph.FraudRatioByHop(graph.NodeID(u.ID), maxHops, onlyType, isFraud)
+		if u.Fraud {
+			nF++
+			for h := range ratios {
+				out.Fraud[h] += ratios[h]
+			}
+		} else {
+			nN++
+			for h := range ratios {
+				out.Normal[h] += ratios[h]
+			}
+		}
+		if nN >= perClass && nF >= perClass {
+			break
+		}
+	}
+	for h := 0; h < maxHops; h++ {
+		if nN > 0 {
+			out.Normal[h] /= float64(nN)
+		}
+		if nF > 0 {
+			out.Fraud[h] /= float64(nF)
+		}
+	}
+	return out
+}
+
+// DegreeSeries is Fig. 4h/4i: mean (weighted) degree of n-hop neighbors
+// per class.
+type DegreeSeries struct {
+	Weighted bool
+	Normal   []float64
+	Fraud    []float64
+}
+
+// StructuralDifference averages MeanDegreeByHop over sampled users.
+func (a *Assembled) StructuralDifference(maxHops, perClass int, weighted bool) DegreeSeries {
+	out := DegreeSeries{
+		Weighted: weighted,
+		Normal:   make([]float64, maxHops),
+		Fraud:    make([]float64, maxHops),
+	}
+	var nN, nF int
+	rng := tensor.NewRNG(101)
+	for _, i := range rng.Perm(len(a.Data.Users)) {
+		u := &a.Data.Users[i]
+		if u.Fraud && nF >= perClass || !u.Fraud && nN >= perClass {
+			continue
+		}
+		degs := a.Graph.MeanDegreeByHop(graph.NodeID(u.ID), maxHops, weighted)
+		if u.Fraud {
+			nF++
+			for h := range degs {
+				out.Fraud[h] += degs[h]
+			}
+		} else {
+			nN++
+			for h := range degs {
+				out.Normal[h] += degs[h]
+			}
+		}
+		if nN >= perClass && nF >= perClass {
+			break
+		}
+	}
+	for h := 0; h < maxHops; h++ {
+		if nN > 0 {
+			out.Normal[h] /= float64(nN)
+		}
+		if nF > 0 {
+			out.Fraud[h] /= float64(nF)
+		}
+	}
+	return out
+}
+
+// RenderSeries prints hop-indexed normal/fraud series.
+func RenderSeries(title string, normal, fraud []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%6s %10s %10s\n", title, "hop", "normal", "fraud")
+	for h := range normal {
+		fmt.Fprintf(&b, "%6d %10.4f %10.4f\n", h+1, normal[h], fraud[h])
+	}
+	return b.String()
+}

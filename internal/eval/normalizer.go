@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"math"
+
+	"turbo/internal/tensor"
+)
+
+// Normalizer is a per-column z-scoring transform fitted on the training
+// split; the prediction server applies the same transform online.
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalizer computes column statistics over the given rows of x.
+// Zero-variance columns get Std 1.
+func FitNormalizer(x *tensor.Matrix, rows []int) *Normalizer {
+	f := x.Cols
+	n := &Normalizer{Mean: make([]float64, f), Std: make([]float64, f)}
+	for j := 0; j < f; j++ {
+		var s float64
+		for _, i := range rows {
+			s += x.At(i, j)
+		}
+		n.Mean[j] = s / float64(len(rows))
+		var v float64
+		for _, i := range rows {
+			d := x.At(i, j) - n.Mean[j]
+			v += d * d
+		}
+		n.Std[j] = math.Sqrt(v / float64(len(rows)))
+		if n.Std[j] == 0 {
+			n.Std[j] = 1
+		}
+	}
+	return n
+}
+
+// Apply transforms one raw feature vector (allocating a new slice) and
+// clamps to ±10σ for numeric stability.
+func (n *Normalizer) Apply(vec []float64) []float64 {
+	out := make([]float64, len(vec))
+	for j, v := range vec {
+		out[j] = tensor.Clamp((v-n.Mean[j])/n.Std[j], -10, 10)
+	}
+	return out
+}
+
+// ApplyMatrix transforms every row of m into a new matrix.
+func (n *Normalizer) ApplyMatrix(m *tensor.Matrix) *tensor.Matrix {
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = tensor.Clamp((row[j]-n.Mean[j])/n.Std[j], -10, 10)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"turbo/internal/baselines"
+	"turbo/internal/datagen"
+)
+
+// TestDefaultDatasetShape checks, on the default evaluation dataset,
+// that the paper's qualitative Table III shape holds: feature-only
+// models trade recall for precision, GNNs recover recall, and HAG is
+// competitive with the best baseline. This test is the calibration
+// anchor for the benchmark harness.
+func TestDefaultDatasetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale dataset: skipped in -short mode")
+	}
+	start := time.Now()
+	a := Assemble(datagen.Default(), AssembleOptions{})
+	t.Logf("assemble: %v; nodes=%d edges=%d positives=%d logs=%d",
+		time.Since(start), a.Graph.NumNodes(), a.Graph.NumEdges(), a.Data.Positives(), a.Store.Len())
+
+	h := DefaultHyper()
+	h.Epochs = 80
+
+	tr := time.Now()
+	rLR := RunFeatureModel(a, &baselines.LogisticRegression{Balance: true}, h)
+	t.Logf("LR   (%v): %v", time.Since(tr), rLR)
+	tr = time.Now()
+	rGBDT := RunFeatureModel(a, &baselines.GBDT{Balance: true}, h)
+	t.Logf("GBDT (%v): %v", time.Since(tr), rGBDT)
+	tr = time.Now()
+	rGCN := RunGNN(a, KindGCN, h, 1)
+	t.Logf("GCN  (%v): %v", time.Since(tr), rGCN)
+	tr = time.Now()
+	rSAGE := RunGNN(a, KindSAGE, h, 1)
+	t.Logf("SAGE (%v): %v", time.Since(tr), rSAGE)
+	tr = time.Now()
+	rHAG := RunHAG(a, HAGFull, h, 1)
+	t.Logf("HAG  (%v): %v", time.Since(tr), rHAG)
+}

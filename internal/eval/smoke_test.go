@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"testing"
+
+	"turbo/internal/baselines"
+	"turbo/internal/datagen"
+)
+
+// TestSmokePipeline exercises the whole stack end to end on the tiny
+// dataset: generate → BN → features → train HAG and two baselines.
+func TestSmokePipeline(t *testing.T) {
+	a := Assemble(datagen.Tiny(), AssembleOptions{})
+	t.Logf("nodes=%d edges=%d positives=%d logs=%d",
+		a.Graph.NumNodes(), a.Graph.NumEdges(), a.Data.Positives(), a.Store.Len())
+
+	h := Hyper{Hidden: []int{16, 8}, AttHidden: 8, MLPHidden: 8, Epochs: 60, LR: 1e-2}
+	rHAG := RunHAG(a, HAGFull, h, 1)
+	t.Logf("HAG:  %v", rHAG)
+	rSAGE := RunGNN(a, KindSAGE, h, 1)
+	t.Logf("SAGE: %v", rSAGE)
+	rGBDT := RunFeatureModel(a, &baselines.GBDT{Balance: true}, h)
+	t.Logf("GBDT: %v", rGBDT)
+	rLR := RunFeatureModel(a, &baselines.LogisticRegression{}, h)
+	t.Logf("LR:   %v", rLR)
+
+	if rHAG.AUC < 0.6 {
+		t.Errorf("HAG AUC suspiciously low: %v", rHAG.AUC)
+	}
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"turbo/internal/baselines"
+	"turbo/internal/behavior"
+	"turbo/internal/metrics"
+)
+
+// TableRow is one method's averaged result over several seeds.
+type TableRow struct {
+	Method   string
+	Mean     metrics.Report
+	Variance float64 // variance of AUC across seeds
+}
+
+// Table is a rendered experiment table.
+type Table struct {
+	Title string
+	Rows  []TableRow
+}
+
+// String renders the table in the paper's layout (percentages).
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %9s %9s\n", "Method", "Precision", "Recall", "F1", "F2", "AUC", "Variance")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%% %9.4f\n",
+			r.Method, 100*r.Mean.Precision, 100*r.Mean.Recall, 100*r.Mean.F1, 100*r.Mean.F2, 100*r.Mean.AUC, 1e4*r.Variance)
+	}
+	return b.String()
+}
+
+// averageRuns runs fn once per seed and reduces to a TableRow.
+func averageRuns(method string, seeds []uint64, fn func(seed uint64) metrics.Report) TableRow {
+	var reports []metrics.Report
+	for _, s := range seeds {
+		reports = append(reports, fn(s))
+	}
+	return TableRow{Method: method, Mean: metrics.Mean(reports), Variance: metrics.AUCVariance(reports)}
+}
+
+// Table3 reproduces Table III: the eleven-method comparison on D1.
+func Table3(a *Assembled, h Hyper, seeds []uint64) Table {
+	seeds = seedsOrDefault(seeds)
+	rows := []TableRow{
+		averageRuns("LR", seeds, func(s uint64) metrics.Report {
+			return RunFeatureModel(a, &baselines.LogisticRegression{Balance: true}, h)
+		}),
+		averageRuns("SVM", seeds, func(s uint64) metrics.Report {
+			return RunFeatureModel(a, &baselines.LinearSVM{Balance: true, Seed: s}, h)
+		}),
+		averageRuns("GBDT", seeds, func(s uint64) metrics.Report {
+			return RunFeatureModel(a, &baselines.GBDT{Balance: true, Seed: s}, h)
+		}),
+		averageRuns("DNN", seeds, func(s uint64) metrics.Report {
+			return RunFeatureModel(a, &baselines.DNN{Balance: true, Seed: s, Dropout: h.Dropout}, h)
+		}),
+		averageRuns("GCN", seeds, func(s uint64) metrics.Report { return RunGNN(a, KindGCN, h, s) }),
+		averageRuns("G-SAGE", seeds, func(s uint64) metrics.Report { return RunGNN(a, KindSAGE, h, s) }),
+		averageRuns("GAT", seeds, func(s uint64) metrics.Report { return RunGNN(a, KindGAT, h, s) }),
+		averageRuns("BLP", seeds, func(s uint64) metrics.Report { return RunBLP(a, h, s) }),
+		averageRuns("DTX1", seeds, func(s uint64) metrics.Report { return RunDTX(a, false, h, s) }),
+		averageRuns("DTX2", seeds, func(s uint64) metrics.Report { return RunDTX(a, true, h, s) }),
+		averageRuns("HAG", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGFull, h, s) }),
+	}
+	return Table{Title: "Table III — performance comparison on D1 (%)", Rows: rows}
+}
+
+// Table4 reproduces Table IV: GraphSAGE vs HAG on the larger D2.
+func Table4(a *Assembled, h Hyper, seeds []uint64) Table {
+	seeds = seedsOrDefault(seeds)
+	rows := []TableRow{
+		averageRuns("G-SAGE", seeds, func(s uint64) metrics.Report { return RunGNN(a, KindSAGE, h, s) }),
+		averageRuns("HAG", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGFull, h, s) }),
+	}
+	return Table{Title: "Table IV — performance comparison on D2 (%)", Rows: rows}
+}
+
+// Table5 reproduces Table V: the SAO/CFO operator ablation.
+func Table5(a *Assembled, h Hyper, seeds []uint64) Table {
+	seeds = seedsOrDefault(seeds)
+	rows := []TableRow{
+		averageRuns("SAO(-)", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGNoSAO, h, s) }),
+		averageRuns("CFO(-)", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGNoCFO, h, s) }),
+		averageRuns("Both(-)", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGNeither, h, s) }),
+		averageRuns("HAG", seeds, func(s uint64) metrics.Report { return RunHAG(a, HAGFull, h, s) }),
+	}
+	return Table{Title: "Table V — effect of SAO and CFO (%)", Rows: rows}
+}
+
+// EdgeAblationResult is one bar of Fig. 7: the AUC drop caused by
+// masking one edge type.
+type EdgeAblationResult struct {
+	Type    behavior.Type
+	AUC     float64
+	AUCDrop float64 // fullAUC − maskedAUC
+}
+
+// Figure7 retrains HAG once per masked edge type and reports the AUC
+// drops, sorted descending like the paper's bar chart. Types that carry
+// no edges in the BN are skipped.
+func Figure7(a *Assembled, h Hyper, seed uint64) []EdgeAblationResult {
+	full := RunHAG(a, HAGFull, h, seed)
+	counts := a.Graph.EdgeCountByType()
+	var out []EdgeAblationResult
+	for t := 0; t < a.Graph.NumEdgeTypes(); t++ {
+		if counts[t] == 0 {
+			continue
+		}
+		r := RunHAGMasked(a, behavior.Type(t), h, seed)
+		out = append(out, EdgeAblationResult{
+			Type:    behavior.Type(t),
+			AUC:     r.AUC,
+			AUCDrop: full.AUC - r.AUC,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AUCDrop > out[j].AUCDrop })
+	return out
+}
+
+// RenderFigure7 prints the Fig. 7 bars as text.
+func RenderFigure7(results []EdgeAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — AUC drop when masking each edge type\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s drop=%6.2f%%  (masked AUC %.2f%%)\n", r.Type, 100*r.AUCDrop, 100*r.AUC)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+// Package feature implements the feature management module of Fig. 2: it
+// serves each user's profile features X_u, application features X_τ, and
+// the streaming statistical features X_s computed from behavior logs
+// over hierarchical windows (login counts, distinct devices/IPs/cells in
+// the last 1 h / 24 h / 72 h — §V). Two retrieval paths exist, matching
+// the §V optimization study: a cold path that recomputes X_s by scanning
+// the local database, and a cached path that memoizes vectors in the
+// in-memory store with a TTL.
+package feature
+
+import (
+	"fmt"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/store"
+)
+
+// StatWindows are the statistical-feature windows.
+var StatWindows = []time.Duration{time.Hour, 24 * time.Hour, 72 * time.Hour}
+
+// statKinds are the per-window aggregates.
+var statKinds = []string{"logs", "devices", "ips", "cells"}
+
+// StatFeatureNames names the X_s dimensions.
+func StatFeatureNames() []string {
+	var names []string
+	for _, w := range StatWindows {
+		for _, k := range statKinds {
+			names = append(names, fmt.Sprintf("%s_%s", k, w))
+		}
+	}
+	return names
+}
+
+// NumStatFeatures is the dimensionality of X_s.
+func NumStatFeatures() int { return len(StatWindows) * len(statKinds) }
+
+// Config parameterizes the service.
+type Config struct {
+	// CacheTTL bounds staleness of cached vectors; 0 selects 10 minutes.
+	CacheTTL time.Duration
+	// DBLatency simulates the round-trip cost of each local-database
+	// scan on the cold path (the paper's MySQL cluster is remote; our
+	// embedded store is not, so the latency study injects it here).
+	DBLatency time.Duration
+	// DisableCache forces the cold path on every request (§V baseline).
+	DisableCache bool
+}
+
+// Service is the feature management module.
+type Service struct {
+	cfg      Config
+	logs     *behavior.Store
+	profiles *store.ReplicatedTable // key: uid, value: []float64 X_u⊕X_τ
+	cache    *store.KV
+}
+
+// NewService builds a feature service over the given log store.
+func NewService(cfg Config, logs *behavior.Store) *Service {
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 10 * time.Minute
+	}
+	return &Service{
+		cfg:      cfg,
+		logs:     logs,
+		profiles: store.NewReplicatedTable(),
+		cache:    store.NewKV(),
+	}
+}
+
+// PutProfile stores a user's static X_u⊕X_τ vector (write-through: the
+// cached full vector, if any, is invalidated).
+func (s *Service) PutProfile(u behavior.UserID, feats []float64) error {
+	if err := s.profiles.Put(profileKey(u), append([]float64(nil), feats...)); err != nil {
+		return err
+	}
+	s.cache.Delete(vectorKey(u))
+	return nil
+}
+
+// Profile returns the stored static vector of u.
+func (s *Service) Profile(u behavior.UserID) ([]float64, error) {
+	row, err := s.profiles.Get(profileKey(u))
+	if err != nil {
+		return nil, fmt.Errorf("feature: profile of user %d: %w", u, err)
+	}
+	return row.([]float64), nil
+}
+
+// Vector returns X_u⊕X_τ⊕X_s for user u with statistical features
+// computed over logs before the cutoff time. The cached path memoizes
+// the full vector; the cold path recomputes it, paying DBLatency per
+// database scan.
+func (s *Service) Vector(u behavior.UserID, cutoff time.Time) ([]float64, error) {
+	key := vectorKey(u)
+	if !s.cfg.DisableCache {
+		if v, ok := s.cache.Get(key); ok {
+			return v.([]float64), nil
+		}
+	}
+	static, err := s.Profile(u)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.DBLatency > 0 {
+		time.Sleep(s.cfg.DBLatency)
+	}
+	stats := s.StatFeatures(u, cutoff)
+	vec := make([]float64, 0, len(static)+len(stats))
+	vec = append(vec, static...)
+	vec = append(vec, stats...)
+	if !s.cfg.DisableCache {
+		s.cache.SetTTL(key, vec, s.cfg.CacheTTL)
+	}
+	return vec, nil
+}
+
+// StatFeatures computes X_s for u from logs in the windows ending at
+// cutoff: per window, the log count and the distinct devices, IPs and
+// GPS cells.
+func (s *Service) StatFeatures(u behavior.UserID, cutoff time.Time) []float64 {
+	out := make([]float64, 0, NumStatFeatures())
+	for _, w := range StatWindows {
+		logs := s.logs.UserLogsBetween(u, cutoff.Add(-w), cutoff)
+		devices := make(map[string]struct{})
+		ips := make(map[string]struct{})
+		cells := make(map[string]struct{})
+		for _, l := range logs {
+			switch l.Type {
+			case behavior.DeviceID:
+				devices[l.Value] = struct{}{}
+			case behavior.IPv4:
+				ips[l.Value] = struct{}{}
+			case behavior.GPS100:
+				cells[l.Value] = struct{}{}
+			}
+		}
+		out = append(out, float64(len(logs)), float64(len(devices)), float64(len(ips)), float64(len(cells)))
+	}
+	return out
+}
+
+// CacheStats exposes cache hits/misses for the §V study.
+func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Profiles exposes the replicated profile table for failover tests.
+func (s *Service) Profiles() *store.ReplicatedTable { return s.profiles }
+
+// InvalidateUser drops any cached vector for u (called on new logs).
+func (s *Service) InvalidateUser(u behavior.UserID) { s.cache.Delete(vectorKey(u)) }
+
+func profileKey(u behavior.UserID) string { return fmt.Sprintf("p/%d", u) }
+func vectorKey(u behavior.UserID) string  { return fmt.Sprintf("v/%d", u) }

@@ -1,0 +1,167 @@
+// Package gnn provides the inductive GNN substrate shared by HAG and the
+// GNN baselines: compiled computation batches over sampled subgraphs,
+// the GCN / GraphSAGE / GAT reference models of §VI-A, and a common
+// full-graph trainer.
+package gnn
+
+import (
+	"turbo/internal/autodiff"
+	"turbo/internal/graph"
+	"turbo/internal/tensor"
+)
+
+// Batch is a computation subgraph compiled for model forward passes:
+// node features plus cached adjacency structures in several of the
+// normalizations the models need. A Batch is immutable after creation
+// and safe to reuse across epochs.
+type Batch struct {
+	NumNodes   int
+	X          *tensor.Matrix      // NumNodes × F node features
+	TypedEdges [][]graph.LocalEdge // directed edges per type (both directions present)
+
+	merged []graph.LocalEdge // all types summed per (src,dst)
+
+	mergedRW     *autodiff.CSR // unweighted random-walk norm incl self (GCN)
+	mergedMean   *autodiff.CSR // unweighted neighbor mean, no self (SAGE)
+	mergedWeight *autodiff.CSR // weighted neighbor mean (CFO(-) SAO stream)
+	typedMean    []*autodiff.CSR
+	gat          *gatStructure // GAT edge bookkeeping
+}
+
+// NewBatch compiles a subgraph and its node feature matrix.
+func NewBatch(sg *graph.Subgraph, x *tensor.Matrix) *Batch {
+	if x.Rows != sg.NumNodes() {
+		panic("gnn: feature rows do not match subgraph nodes")
+	}
+	b := &Batch{NumNodes: sg.NumNodes(), X: x, TypedEdges: sg.TypedEdges}
+	b.merged = mergeEdges(sg.TypedEdges, sg.NumNodes())
+	return b
+}
+
+// mergeEdges sums weights of parallel edges across types.
+func mergeEdges(typed [][]graph.LocalEdge, n int) []graph.LocalEdge {
+	acc := make(map[int64]float64)
+	for _, es := range typed {
+		for _, e := range es {
+			acc[int64(e.Src)<<32|int64(e.Dst)] += e.Weight
+		}
+	}
+	out := make([]graph.LocalEdge, 0, len(acc))
+	for k, w := range acc {
+		out = append(out, graph.LocalEdge{Src: int(k >> 32), Dst: int(k & 0xffffffff), Weight: w})
+	}
+	return out
+}
+
+// MergedEdges returns the type-merged directed edge list.
+func (b *Batch) MergedEdges() []graph.LocalEdge { return b.merged }
+
+// normMode selects the row normalization of an aggregation matrix.
+type normMode int
+
+const (
+	normNone  normMode = iota
+	normSum            // rows sum to 1 (a weighted average)
+	normCount          // rows divided by the neighbor count (Eq. 6):
+	// relative weights AND absolute magnitude survive, so burst-heavy
+	// edges contribute larger neighborhood vectors.
+)
+
+// buildCSR assembles a dst-indexed aggregation matrix A (out = A·H means
+// out[dst] = Σ_src A[dst,src]·H[src]) from directed edges, with optional
+// self loops. unweighted replaces edge weights with 1 (Eqs. 1–2 do not
+// use BN edge weights; Eq. 6 does).
+func buildCSR(n int, edges []graph.LocalEdge, selfLoop bool, norm normMode, unweighted bool) *autodiff.CSR {
+	rows := make([][]int, n)
+	weights := make([][]float64, n)
+	for _, e := range edges {
+		w := e.Weight
+		if unweighted {
+			w = 1
+		}
+		rows[e.Dst] = append(rows[e.Dst], e.Src)
+		weights[e.Dst] = append(weights[e.Dst], w)
+	}
+	if selfLoop {
+		for i := 0; i < n; i++ {
+			rows[i] = append(rows[i], i)
+			weights[i] = append(weights[i], 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var inv float64
+		switch norm {
+		case normSum:
+			var sum float64
+			for _, w := range weights[i] {
+				sum += w
+			}
+			if sum == 0 {
+				continue
+			}
+			inv = 1 / sum
+		case normCount:
+			if len(weights[i]) == 0 {
+				continue
+			}
+			inv = 1 / float64(len(weights[i]))
+		default:
+			continue
+		}
+		for j := range weights[i] {
+			weights[i][j] *= inv
+		}
+	}
+	return autodiff.NewCSR(n, n, rows, weights)
+}
+
+// MergedRWCSR returns the random-walk-normalized merged adjacency with
+// self-loops, the aggregation of the paper's inductive GCN baseline
+// (Eq. 1): an unweighted mean over Ñ(v), so nodes inside large cliques
+// retain only a 1/|Ñ| share of themselves — the over-smoothing setting
+// of Theorem 1.
+func (b *Batch) MergedRWCSR() *autodiff.CSR {
+	if b.mergedRW == nil {
+		b.mergedRW = buildCSR(b.NumNodes, b.merged, true, normSum, true)
+	}
+	return b.mergedRW
+}
+
+// MergedMeanCSR returns the unweighted neighbor mean without self-loops,
+// the h_{N_v} aggregation of GraphSAGE (Eq. 2).
+func (b *Batch) MergedMeanCSR() *autodiff.CSR {
+	if b.mergedMean == nil {
+		b.mergedMean = buildCSR(b.NumNodes, b.merged, false, normSum, true)
+	}
+	return b.mergedMean
+}
+
+// TypedMeanCSR returns the per-type Eq. 6 aggregation on the homogeneous
+// subgraph of edge type t. Unlike Eqs. 1–2 this keeps the BN edge
+// weights, so HAG exploits the certainty signal of the inverse weight
+// assignment and hierarchical windows. We normalize by the weight sum (a
+// weighted average) rather than Eq. 6's literal 1/deg(v): the literal
+// form additionally preserves absolute weight magnitude but destabilized
+// training in our reduced configuration (normCount keeps it available).
+func (b *Batch) TypedMeanCSR(t int) *autodiff.CSR {
+	if b.typedMean == nil {
+		b.typedMean = make([]*autodiff.CSR, len(b.TypedEdges))
+	}
+	if b.typedMean[t] == nil {
+		b.typedMean[t] = buildCSR(b.NumNodes, b.TypedEdges[t], false, normSum, false)
+	}
+	return b.typedMean[t]
+}
+
+// MergedWeightedMeanCSR returns the weighted neighbor mean over the
+// type-merged graph (Eq. 6 collapsed across types), which the CFO(-)
+// ablation's single SAO stream aggregates with.
+func (b *Batch) MergedWeightedMeanCSR() *autodiff.CSR {
+	if b.mergedWeight == nil {
+		b.mergedWeight = buildCSR(b.NumNodes, b.merged, false, normSum, false)
+	}
+	return b.mergedWeight
+}
+
+// NumEdgeTypes returns the number of edge types in the batch.
+func (b *Batch) NumEdgeTypes() int { return len(b.TypedEdges) }

@@ -1,0 +1,286 @@
+package gnn
+
+import (
+	"fmt"
+
+	"turbo/internal/autodiff"
+	"turbo/internal/nn"
+	"turbo/internal/tensor"
+)
+
+// Model is a node classifier over a Batch, producing one fraud logit per
+// node. A nil dropRNG selects evaluation mode (no dropout).
+type Model interface {
+	nn.Module
+	Name() string
+	Forward(t *autodiff.Tape, b *Batch, dropRNG *tensor.RNG) *autodiff.Node
+}
+
+// Config holds the shared GNN hyperparameters of §VI-A: two graph layers
+// with 128 and 64 hidden units cascaded by an MLP with 32 hidden units.
+type Config struct {
+	InDim     int
+	Hidden    []int // graph-layer output sizes; nil selects {128, 64}
+	MLPHidden int   // classifier hidden size; 0 selects 32
+	Heads     int   // GAT attention heads; 0 selects 2
+	Dropout   float64
+	Seed      uint64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64}
+	}
+	if c.MLPHidden == 0 {
+		c.MLPHidden = 32
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// layerSizes returns [in, hidden...].
+func (c Config) layerSizes() []int {
+	return append([]int{c.InDim}, c.Hidden...)
+}
+
+// newHead builds the classification MLP applied to final embeddings.
+func newHead(name string, in int, c Config, rng *tensor.RNG) *nn.MLP {
+	return nn.NewMLP(name+".head", []int{in, c.MLPHidden, 1}, nn.ActReLU, rng)
+}
+
+// --- GCN -------------------------------------------------------------------
+
+// GCN is the random-walk-like inductive GCN of Eq. 1: each layer computes
+// ReLU(W · mean over Ñ(v) of h_u) on the type-merged adjacency with
+// self-loops.
+type GCN struct {
+	cfg    Config
+	layers []*nn.Linear
+	head   *nn.MLP
+}
+
+// NewGCN builds a GCN with the paper's defaults.
+func NewGCN(cfg Config) *GCN {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &GCN{cfg: cfg}
+	sizes := cfg.layerSizes()
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, nn.NewLinear(fmt.Sprintf("gcn.l%d", i), sizes[i], sizes[i+1], rng))
+	}
+	m.head = newHead("gcn", sizes[len(sizes)-1], cfg, rng)
+	return m
+}
+
+// Name implements Model.
+func (m *GCN) Name() string { return "GCN" }
+
+// Parameters implements nn.Module.
+func (m *GCN) Parameters() []*nn.Parameter {
+	var ps []*nn.Parameter
+	for _, l := range m.layers {
+		ps = append(ps, l.Parameters()...)
+	}
+	return append(ps, m.head.Parameters()...)
+}
+
+// Forward implements Model.
+func (m *GCN) Forward(t *autodiff.Tape, b *Batch, dropRNG *tensor.RNG) *autodiff.Node {
+	adj := b.MergedRWCSR()
+	h := t.Const(b.X)
+	for _, l := range m.layers {
+		h = t.ReLU(l.Forward(t, t.Aggregate(adj, h)))
+		h = t.Dropout(h, m.cfg.Dropout, dropRNG)
+	}
+	return m.head.Forward(t, h)
+}
+
+// --- GraphSAGE ---------------------------------------------------------------
+
+// GraphSAGE is the skip-connection baseline of Eq. 2: each layer computes
+// ReLU(W · [h_v ; mean over N(v) of h_u]).
+type GraphSAGE struct {
+	cfg    Config
+	layers []*nn.Linear
+	head   *nn.MLP
+}
+
+// NewGraphSAGE builds a GraphSAGE model.
+func NewGraphSAGE(cfg Config) *GraphSAGE {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &GraphSAGE{cfg: cfg}
+	sizes := cfg.layerSizes()
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, nn.NewLinear(fmt.Sprintf("sage.l%d", i), 2*sizes[i], sizes[i+1], rng))
+	}
+	m.head = newHead("sage", sizes[len(sizes)-1], cfg, rng)
+	return m
+}
+
+// Name implements Model.
+func (m *GraphSAGE) Name() string { return "G-SAGE" }
+
+// Parameters implements nn.Module.
+func (m *GraphSAGE) Parameters() []*nn.Parameter {
+	var ps []*nn.Parameter
+	for _, l := range m.layers {
+		ps = append(ps, l.Parameters()...)
+	}
+	return append(ps, m.head.Parameters()...)
+}
+
+// Forward implements Model.
+func (m *GraphSAGE) Forward(t *autodiff.Tape, b *Batch, dropRNG *tensor.RNG) *autodiff.Node {
+	adj := b.MergedMeanCSR()
+	h := t.Const(b.X)
+	for _, l := range m.layers {
+		hn := t.Aggregate(adj, h)
+		h = t.ReLU(l.Forward(t, t.ConcatCols(h, hn)))
+		h = t.Dropout(h, m.cfg.Dropout, dropRNG)
+	}
+	return m.head.Forward(t, h)
+}
+
+// --- GAT ---------------------------------------------------------------------
+
+// gatLayer is one multi-head graph attention layer.
+type gatLayer struct {
+	heads []*gatHead
+}
+
+type gatHead struct {
+	w      *nn.Parameter // in × out
+	attSrc *nn.Parameter // out × 1
+	attDst *nn.Parameter // out × 1
+}
+
+// GAT implements multi-head graph attention (Veličković et al.) on the
+// type-merged graph, with self-loops so isolated nodes keep their own
+// representation.
+type GAT struct {
+	cfg    Config
+	layers []*gatLayer
+	head   *nn.MLP
+}
+
+// NewGAT builds a GAT whose per-layer output size is split across heads.
+func NewGAT(cfg Config) *GAT {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &GAT{cfg: cfg}
+	sizes := cfg.layerSizes()
+	for i := 0; i+1 < len(sizes); i++ {
+		out := sizes[i+1] / cfg.Heads
+		if out == 0 {
+			out = 1
+		}
+		layer := &gatLayer{}
+		for h := 0; h < cfg.Heads; h++ {
+			name := fmt.Sprintf("gat.l%d.h%d", i, h)
+			layer.heads = append(layer.heads, &gatHead{
+				w:      nn.NewParameter(name+".W", tensor.GlorotUniform(sizes[i], out, rng)),
+				attSrc: nn.NewParameter(name+".aS", tensor.GlorotUniform(out, 1, rng)),
+				attDst: nn.NewParameter(name+".aD", tensor.GlorotUniform(out, 1, rng)),
+			})
+		}
+		m.layers = append(m.layers, layer)
+	}
+	lastOut := (sizes[len(sizes)-1] / cfg.Heads) * cfg.Heads
+	if lastOut == 0 {
+		lastOut = cfg.Heads
+	}
+	m.head = newHead("gat", lastOut, cfg, rng)
+	return m
+}
+
+// Name implements Model.
+func (m *GAT) Name() string { return "GAT" }
+
+// Parameters implements nn.Module.
+func (m *GAT) Parameters() []*nn.Parameter {
+	var ps []*nn.Parameter
+	for _, l := range m.layers {
+		for _, h := range l.heads {
+			ps = append(ps, h.w, h.attSrc, h.attDst)
+		}
+	}
+	return append(ps, m.head.Parameters()...)
+}
+
+// gatStructure caches the per-batch edge bookkeeping GAT attention needs.
+type gatStructure struct {
+	src, dst []int   // per edge, including self-loops
+	segments [][]int // edge indices grouped by destination
+	scatter  *autodiff.CSR
+}
+
+// gatStruct returns the batch's cached GAT edge structure, building it on
+// first use (the structure is per-batch, not per-model, so training
+// epochs reuse it).
+func (b *Batch) gatStruct() *gatStructure {
+	if b.gat == nil {
+		b.gat = buildGATStructure(b)
+	}
+	return b.gat
+}
+
+func buildGATStructure(b *Batch) *gatStructure {
+	s := &gatStructure{}
+	for _, e := range b.MergedEdges() {
+		s.src = append(s.src, e.Src)
+		s.dst = append(s.dst, e.Dst)
+	}
+	for i := 0; i < b.NumNodes; i++ { // self-loops
+		s.src = append(s.src, i)
+		s.dst = append(s.dst, i)
+	}
+	nE := len(s.src)
+	s.segments = make([][]int, b.NumNodes)
+	for e, d := range s.dst {
+		s.segments[d] = append(s.segments[d], e)
+	}
+	// scatter[dst, e] = 1: multiplies the α-weighted per-edge source
+	// features into per-node sums.
+	rows := make([][]int, b.NumNodes)
+	weights := make([][]float64, b.NumNodes)
+	for e := 0; e < nE; e++ {
+		rows[s.dst[e]] = append(rows[s.dst[e]], e)
+		weights[s.dst[e]] = append(weights[s.dst[e]], 1)
+	}
+	s.scatter = autodiff.NewCSR(b.NumNodes, nE, rows, weights)
+	return s
+}
+
+// Forward implements Model.
+func (m *GAT) Forward(t *autodiff.Tape, b *Batch, dropRNG *tensor.RNG) *autodiff.Node {
+	st := b.gatStruct()
+	h := t.Const(b.X)
+	for li, layer := range m.layers {
+		var outs *autodiff.Node
+		for _, hd := range layer.heads {
+			wh := t.MatMul(h, hd.w.Node(t))
+			eSrc := t.SelectRows(wh, st.src)
+			eDst := t.SelectRows(wh, st.dst)
+			score := t.Add(t.MatMul(eSrc, hd.attSrc.Node(t)), t.MatMul(eDst, hd.attDst.Node(t)))
+			alpha := t.SegmentSoftmax(t.LeakyReLU(score, 0.2), st.segments)
+			agg := t.Aggregate(st.scatter, t.MulColVector(eSrc, alpha))
+			if outs == nil {
+				outs = agg
+			} else {
+				outs = t.ConcatCols(outs, agg)
+			}
+		}
+		if li+1 < len(m.layers) {
+			h = t.Dropout(t.ReLU(outs), m.cfg.Dropout, dropRNG)
+		} else {
+			h = t.ReLU(outs)
+		}
+	}
+	return m.head.Forward(t, h)
+}

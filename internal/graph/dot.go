@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// dotColors assigns a Graphviz color per edge type, echoing Fig. 5/6 of
+// the paper where edge color encodes the behavior type.
+var dotColors = []string{
+	"orange", "green", "red", "brown", "gray",
+	"purple", "violet", "slategray", "lightslategray", "blue",
+}
+
+// WriteDOT renders the subgraph in Graphviz DOT format: node fill color
+// comes from nodeClass (0 normal/green, 1 fraud/red, 2 pending/yellow),
+// edge color encodes type and penwidth encodes weight. It reproduces the
+// visualizations of Figs. 5 and 6.
+func (s *Subgraph) WriteDOT(w io.Writer, title string, nodeClass func(NodeID) int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  layout=neato;\n  node [style=filled, shape=circle, fontsize=8];\n")
+	for i, id := range s.Nodes {
+		color := "palegreen"
+		if nodeClass != nil {
+			switch nodeClass(id) {
+			case 1:
+				color = "salmon"
+			case 2:
+				color = "khaki"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%d\", fillcolor=%s];\n", i, id, color)
+	}
+	maxW := 0.0
+	for _, es := range s.TypedEdges {
+		for _, e := range es {
+			if e.Weight > maxW {
+				maxW = e.Weight
+			}
+		}
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+	for t, es := range s.TypedEdges {
+		color := dotColors[t%len(dotColors)]
+		for _, e := range es {
+			if e.Src >= e.Dst { // undirected: emit each edge once
+				continue
+			}
+			pen := 0.5 + 2.5*e.Weight/maxW
+			fmt.Fprintf(&b, "  n%d -- n%d [color=%s, penwidth=%.2f];\n", e.Src, e.Dst, color, pen)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,327 @@
+// Package graph implements the time-evolving heterogeneous weighted
+// multigraph underlying the behavior network (BN): user nodes connected
+// by typed, weighted, TTL-bounded undirected edges, with k-hop subgraph
+// extraction and the symmetric edge-weight normalization of §III-A.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a node (a user).
+type NodeID uint32
+
+// EdgeType identifies an edge type; in the BN it equals the behavior type.
+type EdgeType uint8
+
+// Edge is one typed, weighted undirected edge.
+type Edge struct {
+	Type     EdgeType
+	U, V     NodeID
+	Weight   float64
+	ExpireAt time.Time
+}
+
+// Neighbor is one adjacency entry.
+type Neighbor struct {
+	Node   NodeID
+	Weight float64
+}
+
+type edgeVal struct {
+	weight   float64
+	expireAt time.Time
+}
+
+// Graph is a concurrency-safe heterogeneous multigraph. An edge of a
+// given type between two nodes is unique; repeated additions accumulate
+// weight and extend the TTL, matching Algorithm 1 where weights from
+// different windows and window sizes sum onto a single typed edge.
+type Graph struct {
+	mu       sync.RWMutex
+	numTypes int
+	adj      []map[NodeID]map[NodeID]*edgeVal // adj[type][u][v]
+	nodes    map[NodeID]struct{}
+	numEdges int // undirected edges counted once, summed over types
+}
+
+// New creates a graph supporting edge types [0, numTypes).
+func New(numTypes int) *Graph {
+	if numTypes <= 0 {
+		panic("graph: numTypes must be positive")
+	}
+	g := &Graph{
+		numTypes: numTypes,
+		adj:      make([]map[NodeID]map[NodeID]*edgeVal, numTypes),
+		nodes:    make(map[NodeID]struct{}),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[NodeID]map[NodeID]*edgeVal)
+	}
+	return g
+}
+
+// NumEdgeTypes returns how many edge types the graph supports.
+func (g *Graph) NumEdgeTypes() int { return g.numTypes }
+
+// AddNode registers a node even if it has no edges yet.
+func (g *Graph) AddNode(u NodeID) {
+	g.mu.Lock()
+	g.nodes[u] = struct{}{}
+	g.mu.Unlock()
+}
+
+// AddEdgeWeight accumulates weight w onto the typed undirected edge
+// (u, v) and extends its expiry to at least expireAt. Self-loops and
+// non-positive weights are rejected.
+func (g *Graph) AddEdgeWeight(t EdgeType, u, v NodeID, w float64, expireAt time.Time) error {
+	if int(t) >= g.numTypes {
+		return fmt.Errorf("graph: edge type %d out of range [0,%d)", t, g.numTypes)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: invalid edge weight %v", w)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nodes[u] = struct{}{}
+	g.nodes[v] = struct{}{}
+	if g.upsertHalf(t, u, v, w, expireAt) {
+		g.numEdges++
+	}
+	g.upsertHalf(t, v, u, w, expireAt)
+	return nil
+}
+
+// upsertHalf updates one direction and reports whether it created a new edge.
+func (g *Graph) upsertHalf(t EdgeType, u, v NodeID, w float64, expireAt time.Time) bool {
+	m := g.adj[t][u]
+	if m == nil {
+		m = make(map[NodeID]*edgeVal)
+		g.adj[t][u] = m
+	}
+	if e := m[v]; e != nil {
+		e.weight += w
+		if expireAt.After(e.expireAt) {
+			e.expireAt = expireAt
+		}
+		return false
+	}
+	m[v] = &edgeVal{weight: w, expireAt: expireAt}
+	return true
+}
+
+// EdgeWeight returns the weight of the typed edge (u, v), or 0.
+func (g *Graph) EdgeWeight(t EdgeType, u, v NodeID) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if e := g.adj[t][u][v]; e != nil {
+		return e.weight
+	}
+	return 0
+}
+
+// NumNodes returns the number of registered nodes.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// NumEdges returns the number of distinct typed undirected edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.numEdges
+}
+
+// Nodes returns all node IDs, sorted.
+func (g *Graph) Nodes() []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HasNode reports whether u is registered.
+func (g *Graph) HasNode(u NodeID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.nodes[u]
+	return ok
+}
+
+// NeighborsByType returns u's neighbors over edges of type t, sorted by
+// node ID for determinism.
+func (g *Graph) NeighborsByType(u NodeID, t EdgeType) []Neighbor {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	m := g.adj[t][u]
+	ns := make([]Neighbor, 0, len(m))
+	for v, e := range m {
+		ns = append(ns, Neighbor{Node: v, Weight: e.weight})
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Node < ns[j].Node })
+	return ns
+}
+
+// Neighbors returns u's distinct neighbors across all edge types, sorted.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[NodeID]struct{})
+	for t := 0; t < g.numTypes; t++ {
+		for v := range g.adj[t][u] {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of distinct neighbors of u across all types.
+func (g *Graph) Degree(u NodeID) int { return len(g.Neighbors(u)) }
+
+// WeightedDegree returns Σ over all types and neighbors of edge weights.
+func (g *Graph) WeightedDegree(u NodeID) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var s float64
+	for t := 0; t < g.numTypes; t++ {
+		for _, e := range g.adj[t][u] {
+			s += e.weight
+		}
+	}
+	return s
+}
+
+// TypedWeightedDegree returns deg'_r(u) = Σ_{i∈N_r(u)} w(u, i), the
+// weighted degree on one edge type used by the §III-A normalization.
+func (g *Graph) TypedWeightedDegree(u NodeID, t EdgeType) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var s float64
+	for _, e := range g.adj[t][u] {
+		s += e.weight
+	}
+	return s
+}
+
+// NormalizedWeight returns w'_r(u,v) = w_r(u,v)·(deg'_r(u)·deg'_r(v))^{-1/2},
+// the type-aware symmetric normalization of §III-A, or 0 if no edge.
+func (g *Graph) NormalizedWeight(t EdgeType, u, v NodeID) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e := g.adj[t][u][v]
+	if e == nil {
+		return 0
+	}
+	du := 0.0
+	for _, ev := range g.adj[t][u] {
+		du += ev.weight
+	}
+	dv := 0.0
+	for _, ev := range g.adj[t][v] {
+		dv += ev.weight
+	}
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return e.weight / math.Sqrt(du*dv)
+}
+
+// Prune removes edges whose TTL expired before now and returns how many
+// undirected edges were dropped. Isolated nodes remain registered.
+func (g *Graph) Prune(now time.Time) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dropped := 0
+	for t := 0; t < g.numTypes; t++ {
+		for u, m := range g.adj[t] {
+			for v, e := range m {
+				if e.expireAt.Before(now) {
+					delete(m, v)
+					if u < v { // count each undirected edge once
+						dropped++
+					}
+				}
+			}
+			if len(m) == 0 {
+				delete(g.adj[t], u)
+			}
+		}
+	}
+	g.numEdges -= dropped
+	return dropped
+}
+
+// Edges returns every typed undirected edge once (U < V), sorted by
+// (type, U, V) for determinism.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var es []Edge
+	for t := 0; t < g.numTypes; t++ {
+		for u, m := range g.adj[t] {
+			for v, e := range m {
+				if u < v {
+					es = append(es, Edge{Type: EdgeType(t), U: u, V: v, Weight: e.weight, ExpireAt: e.expireAt})
+				}
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	return es
+}
+
+// EdgeCountByType returns the number of undirected edges per type.
+func (g *Graph) EdgeCountByType() []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	counts := make([]int, g.numTypes)
+	for t := 0; t < g.numTypes; t++ {
+		for u, m := range g.adj[t] {
+			for v := range m {
+				if u < v {
+					counts[t]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// Stats summarizes the graph.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	EdgesByType []int
+}
+
+// Stats returns a snapshot of graph size.
+func (g *Graph) Stats() Stats {
+	return Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), EdgesByType: g.EdgeCountByType()}
+}

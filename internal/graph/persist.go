@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// snapshot is the serialized form of a graph.
+type snapshot struct {
+	NumTypes int
+	Nodes    []NodeID
+	Edges    []Edge
+}
+
+// Write serializes the graph (nodes, typed edges with weights and
+// expiries) in gob format, so a BN server can persist its state across
+// restarts (the paper's local-database role).
+func (g *Graph) Write(w io.Writer) error {
+	snap := snapshot{
+		NumTypes: g.NumEdgeTypes(),
+		Nodes:    g.Nodes(),
+		Edges:    g.Edges(),
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// Read reconstructs a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
+	}
+	if snap.NumTypes <= 0 {
+		return nil, fmt.Errorf("graph: snapshot has invalid type count %d", snap.NumTypes)
+	}
+	g := New(snap.NumTypes)
+	for _, n := range snap.Nodes {
+		g.AddNode(n)
+	}
+	for _, e := range snap.Edges {
+		exp := e.ExpireAt
+		if exp.IsZero() {
+			exp = time.Unix(1<<40, 0) // effectively immortal
+		}
+		if err := g.AddEdgeWeight(e.Type, e.U, e.V, e.Weight, exp); err != nil {
+			return nil, fmt.Errorf("graph: snapshot edge %v: %w", e, err)
+		}
+	}
+	return g, nil
+}

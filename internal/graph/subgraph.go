@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"turbo/internal/tensor"
+)
+
+// LocalEdge is an edge inside a Subgraph, expressed in local indices.
+type LocalEdge struct {
+	Src, Dst int // local node indices
+	Weight   float64
+}
+
+// Subgraph is the computation subgraph G_v of §III-A: the k-hop
+// neighborhood a GNN needs to compute the target node's representation,
+// extracted so inference is inductive (the model never sees the full BN).
+// Nodes[0] is always the target node. TypedEdges[t] holds, per edge type,
+// the directed adjacency (both directions of each undirected edge) with
+// the §III-A symmetric normalized weights.
+type Subgraph struct {
+	Nodes      []NodeID
+	Index      map[NodeID]int
+	TypedEdges [][]LocalEdge
+	Hops       []int // hop distance of each node from the target
+}
+
+// NumNodes returns the node count.
+func (s *Subgraph) NumNodes() int { return len(s.Nodes) }
+
+// NumEdges returns the number of directed typed edges.
+func (s *Subgraph) NumEdges() int {
+	n := 0
+	for _, es := range s.TypedEdges {
+		n += len(es)
+	}
+	return n
+}
+
+// SampleOptions controls computation-subgraph extraction.
+type SampleOptions struct {
+	// Hops is the neighborhood radius (the paper uses k = 2).
+	Hops int
+	// MaxNeighbors caps the number of neighbors expanded per node per
+	// type per hop (GraphSAGE-style fixed-size sampling). 0 = unlimited.
+	MaxNeighbors int
+	// Filter, when non-nil, restricts the subgraph to accepted nodes;
+	// the BN server uses it to keep only users with transactions.
+	Filter func(NodeID) bool
+	// RNG drives neighbor sampling when MaxNeighbors truncates; nil
+	// selects the highest-weight neighbors deterministically.
+	RNG *tensor.RNG
+	// RawWeights disables the symmetric normalization (used by ablation
+	// benches); the default is normalized weights as in the paper.
+	RawWeights bool
+	// Mask omits all edges of one type (Fig. 7 edge ablation). The zero
+	// value NoMask keeps every type; use MaskEdgeType to build a mask.
+	Mask EdgeMask
+}
+
+// EdgeMask optionally designates one edge type to exclude from sampling.
+// The zero value excludes nothing.
+type EdgeMask int
+
+// NoMask keeps all edge types.
+const NoMask EdgeMask = 0
+
+// MaskEdgeType returns a mask excluding edges of type t.
+func MaskEdgeType(t EdgeType) EdgeMask { return EdgeMask(t) + 1 }
+
+// masked returns the excluded type index, or -1.
+func (m EdgeMask) masked() int { return int(m) - 1 }
+
+// Sample extracts the computation subgraph of target under opts. The
+// target is always included even when Filter rejects it.
+func (g *Graph) Sample(target NodeID, opts SampleOptions) *Subgraph {
+	if opts.Hops <= 0 {
+		opts.Hops = 2
+	}
+	masked := opts.Mask.masked()
+	sg := &Subgraph{
+		Nodes:      []NodeID{target},
+		Index:      map[NodeID]int{target: 0},
+		TypedEdges: make([][]LocalEdge, g.numTypes),
+		Hops:       []int{0},
+	}
+	frontier := []NodeID{target}
+	for hop := 1; hop <= opts.Hops; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for t := 0; t < g.numTypes; t++ {
+				if t == masked {
+					continue
+				}
+				ns := g.NeighborsByType(u, EdgeType(t))
+				ns = filterNeighbors(ns, opts.Filter)
+				ns = capNeighbors(ns, opts.MaxNeighbors, opts.RNG)
+				for _, nb := range ns {
+					if _, ok := sg.Index[nb.Node]; !ok {
+						sg.Index[nb.Node] = len(sg.Nodes)
+						sg.Nodes = append(sg.Nodes, nb.Node)
+						sg.Hops = append(sg.Hops, hop)
+						next = append(next, nb.Node)
+					}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	// Materialize all typed edges among included nodes. Typed weighted
+	// degrees (over the full graph, as the paper normalizes) are cached
+	// per subgraph node to avoid rescanning adjacency per edge.
+	for t := 0; t < g.numTypes; t++ {
+		if t == masked {
+			continue
+		}
+		var deg []float64
+		if !opts.RawWeights {
+			deg = make([]float64, len(sg.Nodes))
+			for li, u := range sg.Nodes {
+				deg[li] = g.TypedWeightedDegree(u, EdgeType(t))
+			}
+		}
+		for li, u := range sg.Nodes {
+			for _, nb := range g.NeighborsByType(u, EdgeType(t)) {
+				lj, ok := sg.Index[nb.Node]
+				if !ok {
+					continue
+				}
+				w := nb.Weight
+				if !opts.RawWeights {
+					if deg[li] == 0 || deg[lj] == 0 {
+						continue
+					}
+					w = nb.Weight / math.Sqrt(deg[li]*deg[lj])
+				}
+				if w <= 0 {
+					continue
+				}
+				sg.TypedEdges[t] = append(sg.TypedEdges[t], LocalEdge{Src: li, Dst: lj, Weight: w})
+			}
+		}
+	}
+	return sg
+}
+
+func filterNeighbors(ns []Neighbor, filter func(NodeID) bool) []Neighbor {
+	if filter == nil {
+		return ns
+	}
+	out := ns[:0]
+	for _, n := range ns {
+		if filter(n.Node) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func capNeighbors(ns []Neighbor, max int, rng *tensor.RNG) []Neighbor {
+	if max <= 0 || len(ns) <= max {
+		return ns
+	}
+	if rng == nil {
+		sorted := append([]Neighbor(nil), ns...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Weight != sorted[j].Weight {
+				return sorted[i].Weight > sorted[j].Weight
+			}
+			return sorted[i].Node < sorted[j].Node
+		})
+		return sorted[:max]
+	}
+	sampled := append([]Neighbor(nil), ns...)
+	rng.Shuffle(len(sampled), func(i, j int) { sampled[i], sampled[j] = sampled[j], sampled[i] })
+	return sampled[:max]
+}
+
+// FraudRatioByHop returns, for each hop 1..maxHops from node u, the
+// fraction of nodes at exactly that hop for which isFraud is true. It
+// backs the Fig. 4d–g homophily study: onlyType < 0 walks all edge types
+// (Fig. 4d); onlyType >= 0 restricts the walk to that edge type
+// (Fig. 4e–g per-type homophily). A hop with no nodes reports 0.
+func (g *Graph) FraudRatioByHop(u NodeID, maxHops int, onlyType int, isFraud func(NodeID) bool) []float64 {
+	hops := g.hopSets(u, maxHops, onlyType)
+	out := make([]float64, maxHops)
+	for h := 1; h <= maxHops; h++ {
+		set := hops[h]
+		if len(set) == 0 {
+			continue
+		}
+		fraud := 0
+		for v := range set {
+			if isFraud(v) {
+				fraud++
+			}
+		}
+		out[h-1] = float64(fraud) / float64(len(set))
+	}
+	return out
+}
+
+// MeanDegreeByHop returns the mean (optionally weighted) degree of the
+// nodes at each hop 1..maxHops from u — the Fig. 4h/4i structural study.
+func (g *Graph) MeanDegreeByHop(u NodeID, maxHops int, weighted bool) []float64 {
+	hops := g.hopSets(u, maxHops, -1) // all edge types
+	out := make([]float64, maxHops)
+	for h := 1; h <= maxHops; h++ {
+		set := hops[h]
+		if len(set) == 0 {
+			continue
+		}
+		var s float64
+		for v := range set {
+			if weighted {
+				s += g.WeightedDegree(v)
+			} else {
+				s += float64(g.Degree(v))
+			}
+		}
+		out[h-1] = s / float64(len(set))
+	}
+	return out
+}
+
+// hopSets returns, for hops 0..maxHops, the set of nodes first reached at
+// exactly that hop; onlyType >= 0 restricts the walk to that edge type.
+func (g *Graph) hopSets(u NodeID, maxHops, onlyType int) []map[NodeID]struct{} {
+	sets := make([]map[NodeID]struct{}, maxHops+1)
+	sets[0] = map[NodeID]struct{}{u: {}}
+	visited := map[NodeID]struct{}{u: {}}
+	frontier := []NodeID{u}
+	for h := 1; h <= maxHops; h++ {
+		sets[h] = make(map[NodeID]struct{})
+		var next []NodeID
+		for _, x := range frontier {
+			for t := 0; t < g.numTypes; t++ {
+				if onlyType >= 0 && t != onlyType {
+					continue
+				}
+				for _, nb := range g.NeighborsByType(x, EdgeType(t)) {
+					if _, ok := visited[nb.Node]; ok {
+						continue
+					}
+					visited[nb.Node] = struct{}{}
+					sets[h][nb.Node] = struct{}{}
+					next = append(next, nb.Node)
+				}
+			}
+		}
+		frontier = next
+	}
+	return sets
+}

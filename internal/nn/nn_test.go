@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"turbo/internal/autodiff"
+	"turbo/internal/tensor"
+)
+
+func TestLinearForwardShapeAndBias(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewLinear("l", 3, 2, rng)
+	l.W.Value.Zero()
+	l.B.Value.Data[0] = 5
+	l.B.Value.Data[1] = -1
+	tp := autodiff.NewTape()
+	out := l.Forward(tp, tp.Const(tensor.New(4, 3)))
+	if out.Value.Rows != 4 || out.Value.Cols != 2 {
+		t.Fatalf("bad shape %dx%d", out.Value.Rows, out.Value.Cols)
+	}
+	if out.Value.At(2, 0) != 5 || out.Value.At(2, 1) != -1 {
+		t.Fatalf("bias not applied: %v", out.Value)
+	}
+}
+
+func TestMLPParamCountAndNames(t *testing.T) {
+	m := NewMLP("m", []int{4, 8, 2}, ActReLU, tensor.NewRNG(2))
+	want := 4*8 + 8 + 8*2 + 2
+	if got := ParamCount(m); got != want {
+		t.Fatalf("param count %d want %d", got, want)
+	}
+	names := map[string]bool{}
+	for _, p := range m.Parameters() {
+		if names[p.Name] {
+			t.Fatalf("duplicate parameter name %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+}
+
+func TestMLPRejectsTooFewSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP("m", []int{4}, ActReLU, tensor.NewRNG(1))
+}
+
+func TestActivationsApply(t *testing.T) {
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.FromRows([][]float64{{-1, 1}}))
+	if got := ActReLU.Apply(tp, x).Value; got.At(0, 0) != 0 || got.At(0, 1) != 1 {
+		t.Fatalf("relu: %v", got)
+	}
+	if got := ActNone.Apply(tp, x); got != x {
+		t.Fatal("ActNone should be identity")
+	}
+	if got := ActSigmoid.Apply(tp, x).Value; got.At(0, 1) <= 0.5 {
+		t.Fatalf("sigmoid: %v", got)
+	}
+	if got := ActTanh.Apply(tp, x).Value; got.At(0, 0) >= 0 {
+		t.Fatalf("tanh: %v", got)
+	}
+}
+
+// trainToy fits y = 2x1 - 3x2 + 1 with the given optimizer constructor
+// and returns the final loss.
+func trainToy(t *testing.T, newOpt func(Module) Optimizer) float64 {
+	t.Helper()
+	rng := tensor.NewRNG(3)
+	n := 64
+	x := tensor.RandNormal(n, 2, 1, rng)
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := 2*x.At(i, 0) - 3*x.At(i, 1) + 1
+		if z > 0 {
+			labels[i] = 1
+		}
+	}
+	mlp := NewMLP("toy", []int{2, 8, 1}, ActTanh, rng)
+	opt := newOpt(mlp)
+	var last float64
+	for epoch := 0; epoch < 300; epoch++ {
+		tp := autodiff.NewTape()
+		logits := mlp.Forward(tp, tp.Const(x))
+		loss := tp.BCEWithLogits(logits, labels)
+		last = loss.Scalar()
+		tp.Backward(loss)
+		opt.Step()
+	}
+	return last
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	loss := trainToy(t, func(m Module) Optimizer { return NewAdam(m, 0.01) })
+	if loss > 0.1 {
+		t.Fatalf("Adam final loss too high: %v", loss)
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	loss := trainToy(t, func(m Module) Optimizer { return NewSGD(m, 0.5) })
+	if loss > 0.3 {
+		t.Fatalf("SGD final loss too high: %v", loss)
+	}
+}
+
+func TestOptimizerZeroesGrads(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	l := NewLinear("l", 2, 1, rng)
+	l.W.Grad.Fill(3)
+	opt := NewAdam(l, 0.01)
+	opt.Step()
+	if l.W.Grad.MaxAbs() != 0 {
+		t.Fatal("step must zero gradients")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	l := NewLinear("l", 1, 1, tensor.NewRNG(5))
+	l.W.Value.Data[0] = 10
+	opt := NewSGD(l, 0.1)
+	opt.WeightDecay = 1
+	opt.Step() // gradient zero, only decay applies
+	if l.W.Value.Data[0] >= 10 {
+		t.Fatalf("weight decay had no effect: %v", l.W.Value.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	l := NewLinear("l", 2, 2, tensor.NewRNG(6))
+	l.W.Grad.Fill(10)
+	l.B.Grad.Fill(10)
+	pre := ClipGradNorm(l, 1)
+	if pre <= 1 {
+		t.Fatalf("pre-clip norm should exceed 1: %v", pre)
+	}
+	var sq float64
+	for _, p := range l.Parameters() {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-9 {
+		t.Fatalf("post-clip norm %v", math.Sqrt(sq))
+	}
+}
+
+func TestClipGradNormNoopUnderLimit(t *testing.T) {
+	l := NewLinear("l", 1, 1, tensor.NewRNG(7))
+	l.W.Grad.Data[0] = 0.1
+	before := l.W.Grad.Data[0]
+	ClipGradNorm(l, 100)
+	if l.W.Grad.Data[0] != before {
+		t.Fatal("clip should not rescale below the limit")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	src := NewMLP("m", []int{3, 4, 1}, ActReLU, rng)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP("m", []int{3, 4, 1}, ActReLU, tensor.NewRNG(999))
+	if err := LoadState(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Parameters() {
+		if !p.Value.Equal(dst.Parameters()[i].Value, 0) {
+			t.Fatalf("parameter %s differs after load", p.Name)
+		}
+	}
+}
+
+func TestLoadStateRejectsWrongArchitecture(t *testing.T) {
+	src := NewMLP("m", []int{3, 4, 1}, ActReLU, tensor.NewRNG(9))
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	wrongShape := NewMLP("m", []int{3, 5, 1}, ActReLU, tensor.NewRNG(9))
+	if err := LoadState(&buf, wrongShape); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadStateRejectsWrongName(t *testing.T) {
+	src := NewMLP("a", []int{2, 2, 1}, ActReLU, tensor.NewRNG(10))
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	renamed := NewMLP("b", []int{2, 2, 1}, ActReLU, tensor.NewRNG(10))
+	if err := LoadState(&buf, renamed); err == nil {
+		t.Fatal("expected name mismatch error")
+	}
+}
+
+func TestLoadStatePreservesTraining(t *testing.T) {
+	// A loaded model must produce identical outputs to the saved one.
+	rng := tensor.NewRNG(11)
+	src := NewMLP("m", []int{2, 6, 1}, ActTanh, rng)
+	x := tensor.RandNormal(5, 2, 1, rng)
+	tp := autodiff.NewTape()
+	want := src.Forward(tp, tp.Const(x)).Value.Clone()
+
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP("m", []int{2, 6, 1}, ActTanh, tensor.NewRNG(12))
+	if err := LoadState(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	tp2 := autodiff.NewTape()
+	got := dst.Forward(tp2, tp2.Const(x)).Value
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("loaded model produces different outputs")
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"turbo/internal/behavior"
+)
+
+// API exposes the online stack over HTTP:
+//
+//	POST /ingest            {"uid":1,"type":3,"value":"ip-1","time":"..."}
+//	POST /transaction?uid=1 registers an application for uid
+//	GET  /predict?uid=1     runs one audit request
+//	GET  /latency           returns the §V latency digests
+//	GET  /stats             returns BN size statistics
+type API struct {
+	Pred *PredictionServer
+	BN   *BNServer
+	mux  *http.ServeMux
+}
+
+// NewAPI builds the HTTP handler around a prediction server.
+func NewAPI(pred *PredictionServer, bn *BNServer) *API {
+	a := &API{Pred: pred, BN: bn, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/ingest", a.handleIngest)
+	a.mux.HandleFunc("/transaction", a.handleTransaction)
+	a.mux.HandleFunc("/predict", a.handlePredict)
+	a.mux.HandleFunc("/latency", a.handleLatency)
+	a.mux.HandleFunc("/stats", a.handleStats)
+	a.mux.HandleFunc("/subgraph", a.handleSubgraph)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var l behavior.Log
+	if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+		http.Error(w, fmt.Sprintf("bad log: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !l.Type.Valid() {
+		http.Error(w, fmt.Sprintf("invalid behavior type %d", l.Type), http.StatusBadRequest)
+		return
+	}
+	if l.Time.IsZero() {
+		l.Time = time.Now()
+	}
+	a.BN.Ingest(l)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (a *API) handleTransaction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	uid, err := parseUID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.BN.RegisterTransaction(uid)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
+	uid, err := parseUID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pred, err := a.Pred.Predict(uid, time.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, pred)
+}
+
+func (a *API) handleLatency(w http.ResponseWriter, r *http.Request) {
+	type digest struct {
+		Count int    `json:"count"`
+		Mean  string `json:"mean"`
+		P50   string `json:"p50"`
+		P99   string `json:"p99"`
+		P999  string `json:"p999"`
+	}
+	out := make(map[string]digest)
+	for name, s := range a.Pred.LatencySummaries() {
+		out[name] = digest{
+			Count: s.Count,
+			Mean:  s.Mean.String(),
+			P50:   s.P50.String(),
+			P99:   s.P99.String(),
+			P999:  s.P999.String(),
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := a.BN.Graph().Stats()
+	writeJSON(w, map[string]any{
+		"nodes":         st.Nodes,
+		"edges":         st.Edges,
+		"edges_by_type": st.EdgesByType,
+		"logs":          a.BN.Store().Len(),
+	})
+}
+
+// handleSubgraph renders a user's computation subgraph as Graphviz DOT
+// (the Figs. 5/6/9a visualization, fetched live from the BN server).
+func (a *API) handleSubgraph(w http.ResponseWriter, r *http.Request) {
+	uid, err := parseUID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sg := a.BN.Sample(uid)
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	title := fmt.Sprintf("user-%d", uid)
+	if err := sg.WriteDOT(w, title, nil); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func parseUID(r *http.Request) (behavior.UserID, error) {
+	s := r.URL.Query().Get("uid")
+	if s == "" {
+		return 0, fmt.Errorf("missing uid parameter")
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad uid %q: %v", s, err)
+	}
+	return behavior.UserID(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestAPI(t *testing.T) *API {
+	t.Helper()
+	bnServer, pred := newTestStack(t)
+	return NewAPI(pred, bnServer)
+}
+
+func TestHTTPPredict(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/predict?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.User != 1 || pred.Probability < 0 || pred.Probability > 1 {
+		t.Fatalf("prediction %+v", pred)
+	}
+}
+
+func TestHTTPPredictBadUID(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	for _, q := range []string{"/predict", "/predict?uid=abc", "/predict?uid=-1"} {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPIngestAndStats(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	body := `{"uid":42,"type":0,"value":"new-dev","time":"2019-01-01T05:00:00Z"}`
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["logs"].(float64) != 4 { // 3 seeded + 1 ingested
+		t.Fatalf("stats %v", stats)
+	}
+}
+
+func TestHTTPIngestRejectsInvalid(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{bad json`,
+		`{"uid":1,"type":99,"value":"x"}`, // invalid behavior type
+	} {
+		resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d want 400", body, resp.StatusCode)
+		}
+	}
+	// GET on a POST endpoint.
+	resp, err := http.Get(srv.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPIngestDefaultsTime(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	before := time.Now()
+	body := `{"uid":7,"type":3,"value":"ip"}`
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	logs := bnServer.Store().UserLogs(7)
+	if len(logs) != 1 || logs[0].Time.Before(before.Add(-time.Second)) {
+		t.Fatalf("zero time not defaulted: %+v", logs)
+	}
+}
+
+func TestHTTPTransaction(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/transaction?uid=77", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !bnServer.Graph().HasNode(77) {
+		t.Fatal("transaction did not register the node")
+	}
+	// Method check.
+	resp, _ = http.Get(srv.URL + "/transaction?uid=78")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET transaction status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPLatencyDigest(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	// Generate one prediction so digests are non-empty.
+	resp, err := http.Get(srv.URL + "/predict?uid=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sampling", "features", "predict", "total"} {
+		if out[key]["count"].(float64) < 1 {
+			t.Fatalf("digest %q empty: %v", key, out[key])
+		}
+	}
+}
+
+func TestHTTPSubgraphDOT(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/subgraph?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/vnd.graphviz" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	out := string(body[:n])
+	if !strings.Contains(out, "graph") || !strings.Contains(out, "n0") {
+		t.Fatalf("not DOT output: %q", out)
+	}
+	// Bad uid.
+	resp2, _ := http.Get(srv.URL + "/subgraph?uid=zzz")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad uid status %d", resp2.StatusCode)
+	}
+}

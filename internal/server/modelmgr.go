@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"turbo/internal/gnn"
+)
+
+// TrainFunc produces a freshly trained model and its feature normalizer
+// from whatever data the caller accumulates (the offline side of the
+// model management module).
+type TrainFunc func() (gnn.Model, func([]float64) []float64, error)
+
+// ModelManager is the model management module of Fig. 2: it retrains the
+// classification model offline on a schedule (the paper retrains HAG
+// daily) and hot-swaps it into the prediction server without pausing
+// audits.
+type ModelManager struct {
+	mu    sync.Mutex
+	pred  *PredictionServer
+	train TrainFunc
+
+	retrains  int
+	lastError error
+	lastSwap  time.Time
+}
+
+// NewModelManager wires a manager to a prediction server.
+func NewModelManager(pred *PredictionServer, train TrainFunc) *ModelManager {
+	return &ModelManager{pred: pred, train: train}
+}
+
+// RetrainOnce runs one offline training pass and swaps the new model in.
+func (m *ModelManager) RetrainOnce() error {
+	model, norm, err := m.train()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.lastError = err
+		return fmt.Errorf("server: retrain: %w", err)
+	}
+	m.pred.SwapModel(model, norm)
+	m.retrains++
+	m.lastError = nil
+	m.lastSwap = time.Now()
+	return nil
+}
+
+// Run retrains on the given interval until ctx is cancelled. Errors are
+// recorded (see Status) and do not stop the loop: the previous model
+// keeps serving.
+func (m *ModelManager) Run(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			_ = m.RetrainOnce()
+		}
+	}
+}
+
+// Status reports the manager's retrain history.
+func (m *ModelManager) Status() (retrains int, lastSwap time.Time, lastError error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retrains, m.lastSwap, m.lastError
+}

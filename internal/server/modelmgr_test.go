@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+)
+
+func TestModelManagerSwapChangesPredictions(t *testing.T) {
+	_, pred := newTestStack(t)
+	before, err := pred.Predict(1, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 2 + feature.NumStatFeatures()
+	mgr := NewModelManager(pred, func() (gnn.Model, func([]float64) []float64, error) {
+		// A differently seeded model stands in for a daily retrain.
+		return gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{4}, MLPHidden: 2, Seed: 99}), nil, nil
+	})
+	if err := mgr.RetrainOnce(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := pred.Predict(1, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Probability == after.Probability {
+		t.Fatal("swap did not change the serving model")
+	}
+	retrains, swap, lastErr := mgr.Status()
+	if retrains != 1 || swap.IsZero() || lastErr != nil {
+		t.Fatalf("status %d %v %v", retrains, swap, lastErr)
+	}
+}
+
+func TestModelManagerKeepsOldModelOnError(t *testing.T) {
+	_, pred := newTestStack(t)
+	before, _ := pred.Predict(1, t0.Add(time.Hour))
+	mgr := NewModelManager(pred, func() (gnn.Model, func([]float64) []float64, error) {
+		return nil, nil, errors.New("training data unavailable")
+	})
+	if err := mgr.RetrainOnce(); err == nil {
+		t.Fatal("expected retrain error")
+	}
+	after, err := pred.Predict(1, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Probability != after.Probability {
+		t.Fatal("failed retrain must not change the serving model")
+	}
+	if _, _, lastErr := mgr.Status(); lastErr == nil {
+		t.Fatal("error not recorded")
+	}
+}
+
+func TestModelManagerRunLoop(t *testing.T) {
+	_, pred := newTestStack(t)
+	dim := 2 + feature.NumStatFeatures()
+	calls := make(chan struct{}, 10)
+	mgr := NewModelManager(pred, func() (gnn.Model, func([]float64) []float64, error) {
+		calls <- struct{}{}
+		return gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{2}, MLPHidden: 2}), nil, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		mgr.Run(ctx, 5*time.Millisecond)
+		close(done)
+	}()
+	// Wait for at least two retrains, then stop.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-calls:
+		case <-time.After(2 * time.Second):
+			t.Fatal("retrain loop did not fire")
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit on cancel")
+	}
+}
+
+func TestConcurrentPredictDuringSwap(t *testing.T) {
+	_, pred := newTestStack(t)
+	dim := 2 + feature.NumStatFeatures()
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				errs <- nil
+				return
+			default:
+				if _, err := pred.Predict(1, t0.Add(time.Hour)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		pred.SwapModel(gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{2}, MLPHidden: 2, Seed: uint64(i + 1)}), nil)
+	}
+	close(stop)
+	if err := <-errs; err != nil {
+		t.Fatalf("predict during swap: %v", err)
+	}
+}

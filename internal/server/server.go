@@ -1,0 +1,229 @@
+// Package server implements the online anti-fraud stack of Fig. 2: a BN
+// server that ingests behavior logs in real time and maintains the BN
+// with scheduled window jobs, a feature service, and a prediction server
+// that samples a computation subgraph, fetches features, and runs the
+// HAG model — all behind an HTTP API. Per-module latencies are recorded
+// for the §V / Fig. 8a response-time study.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/bn"
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+	"turbo/internal/metrics"
+	"turbo/internal/tensor"
+)
+
+// BNServer ingests logs and serves computation subgraphs.
+type BNServer struct {
+	mu      sync.Mutex
+	store   *behavior.Store
+	builder *bn.Builder
+	g       *graph.Graph
+	// hasTxn marks users with transactions; only these belong to
+	// computation subgraphs (§III-A).
+	hasTxn map[behavior.UserID]bool
+
+	SampleHops      int
+	MaxNeighbors    int
+	SamplingLatency *metrics.LatencyRecorder
+}
+
+// NewBNServer builds a BN server anchored at t0.
+func NewBNServer(cfg bn.Config, t0 time.Time) (*BNServer, error) {
+	store := behavior.NewStore()
+	g := graph.New(behavior.NumTypes)
+	builder, err := bn.NewBuilder(cfg, store, g, t0)
+	if err != nil {
+		return nil, err
+	}
+	return &BNServer{
+		store:           store,
+		builder:         builder,
+		g:               g,
+		hasTxn:          make(map[behavior.UserID]bool),
+		SampleHops:      2,
+		MaxNeighbors:    32,
+		SamplingLatency: metrics.NewLatencyRecorder(),
+	}, nil
+}
+
+// Ingest stores one behavior log. Edges materialize when the scheduled
+// window jobs run (Advance), in parallel to prediction requests, so log
+// ingestion never sits on the prediction path.
+func (s *BNServer) Ingest(l behavior.Log) {
+	s.store.Append(l)
+}
+
+// IngestBatch bulk-loads logs (e.g. a historical backfill).
+func (s *BNServer) IngestBatch(logs []behavior.Log) {
+	s.store.AppendBatch(logs)
+}
+
+// RegisterTransaction marks a user as having a transaction, making it
+// eligible for computation subgraphs.
+func (s *BNServer) RegisterTransaction(u behavior.UserID) {
+	s.mu.Lock()
+	s.hasTxn[u] = true
+	s.g.AddNode(graph.NodeID(u))
+	s.mu.Unlock()
+}
+
+// Advance runs all window jobs due by now (the periodic scheduler tick)
+// and returns the number of epoch jobs executed.
+func (s *BNServer) Advance(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builder.Advance(now)
+}
+
+// Graph exposes the underlying BN (shared; treat as read-mostly).
+func (s *BNServer) Graph() *graph.Graph { return s.g }
+
+// Store exposes the log store (used by the feature service).
+func (s *BNServer) Store() *behavior.Store { return s.store }
+
+// Sample extracts the computation subgraph of user u, restricted to
+// users with transactions, recording the sampling latency (Fig. 8a).
+func (s *BNServer) Sample(u behavior.UserID) *graph.Subgraph {
+	var sg *graph.Subgraph
+	s.SamplingLatency.Time(func() {
+		s.mu.Lock()
+		filter := func(n graph.NodeID) bool { return s.hasTxn[behavior.UserID(n)] }
+		s.mu.Unlock()
+		sg = s.g.Sample(graph.NodeID(u), graph.SampleOptions{
+			Hops:         s.SampleHops,
+			MaxNeighbors: s.MaxNeighbors,
+			Filter:       filter,
+		})
+	})
+	return sg
+}
+
+// Prediction is the result of one audit request.
+type Prediction struct {
+	User          behavior.UserID `json:"user"`
+	Probability   float64         `json:"probability"`
+	Fraud         bool            `json:"fraud"`
+	SubgraphNodes int             `json:"subgraph_nodes"`
+	SubgraphEdges int             `json:"subgraph_edges"`
+
+	SampleLatency  time.Duration `json:"sample_latency_ns"`
+	FeatureLatency time.Duration `json:"feature_latency_ns"`
+	PredictLatency time.Duration `json:"predict_latency_ns"`
+	TotalLatency   time.Duration `json:"total_latency_ns"`
+}
+
+// PredictionServer runs the classification model over sampled subgraphs
+// with features from the feature service. The model is hot-swappable by
+// the ModelManager; swaps never block in-flight audits for long.
+type PredictionServer struct {
+	bn    *BNServer
+	feats *feature.Service
+	mu    sync.RWMutex
+	model gnn.Model
+	// Normalizer maps raw feature vectors to model inputs (z-scoring
+	// fitted at training time). Nil means identity. Set it via SwapModel
+	// or before serving.
+	Normalizer func([]float64) []float64
+	Threshold  float64
+
+	FeatureLatency *metrics.LatencyRecorder
+	PredictLatency *metrics.LatencyRecorder
+	TotalLatency   *metrics.LatencyRecorder
+}
+
+// NewPredictionServer wires the three online modules together.
+func NewPredictionServer(bnServer *BNServer, feats *feature.Service, model gnn.Model, threshold float64) *PredictionServer {
+	return &PredictionServer{
+		bn:             bnServer,
+		feats:          feats,
+		model:          model,
+		Threshold:      threshold,
+		FeatureLatency: metrics.NewLatencyRecorder(),
+		PredictLatency: metrics.NewLatencyRecorder(),
+		TotalLatency:   metrics.NewLatencyRecorder(),
+	}
+}
+
+// SwapModel atomically replaces the serving model and normalizer (the
+// model management module calls this after each offline retrain).
+func (p *PredictionServer) SwapModel(m gnn.Model, normalizer func([]float64) []float64) {
+	p.mu.Lock()
+	p.model = m
+	p.Normalizer = normalizer
+	p.mu.Unlock()
+}
+
+// Predict serves one audit request end to end: subgraph sampling (BN
+// server), feature retrieval (feature module), HAG inference (prediction
+// server), mirroring the numbered flow of Fig. 2.
+func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction, error) {
+	p.mu.RLock()
+	model, normalizer := p.model, p.Normalizer
+	p.mu.RUnlock()
+	start := time.Now()
+	sg := p.bn.Sample(u)
+	sampleDone := time.Now()
+
+	n := sg.NumNodes()
+	var x *tensor.Matrix
+	var ferr error
+	p.FeatureLatency.Time(func() {
+		for i, node := range sg.Nodes {
+			vec, err := p.feats.Vector(behavior.UserID(node), at)
+			if err != nil {
+				ferr = fmt.Errorf("server: features for node %d: %w", node, err)
+				return
+			}
+			if normalizer != nil {
+				vec = normalizer(vec)
+			}
+			if x == nil {
+				x = tensor.New(n, len(vec))
+			}
+			copy(x.Row(i), vec)
+		}
+	})
+	if ferr != nil {
+		return Prediction{}, ferr
+	}
+	featDone := time.Now()
+
+	var prob float64
+	p.PredictLatency.Time(func() {
+		batch := gnn.NewBatch(sg, x)
+		prob = gnn.Score(model, batch)
+	})
+	end := time.Now()
+	p.TotalLatency.Record(end.Sub(start))
+
+	return Prediction{
+		User:           u,
+		Probability:    prob,
+		Fraud:          prob >= p.Threshold,
+		SubgraphNodes:  n,
+		SubgraphEdges:  sg.NumEdges(),
+		SampleLatency:  sampleDone.Sub(start),
+		FeatureLatency: featDone.Sub(sampleDone),
+		PredictLatency: end.Sub(featDone),
+		TotalLatency:   end.Sub(start),
+	}, nil
+}
+
+// LatencySummaries returns the §V digests of the three online modules
+// plus the end-to-end pipeline.
+func (p *PredictionServer) LatencySummaries() map[string]metrics.Summary {
+	return map[string]metrics.Summary{
+		"sampling": p.bn.SamplingLatency.Summarize(),
+		"features": p.FeatureLatency.Summarize(),
+		"predict":  p.PredictLatency.Summarize(),
+		"total":    p.TotalLatency.Summarize(),
+	}
+}

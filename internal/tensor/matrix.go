@@ -1,0 +1,443 @@
+// Package tensor provides dense float64 matrices and the numeric kernels
+// used by the autodiff engine and every model in the repository.
+//
+// Matrices are row-major. All operations either allocate a fresh result or
+// write into the receiver in place; in-place variants are suffixed with
+// "Into" or documented as mutating. The package is deliberately free of
+// external dependencies so the whole training stack runs on the standard
+// library alone.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) in a Matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix copying the given equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged row %d (%d != %d)", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (no copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) assertSameShape(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// MatMul returns m × o.
+func (m *Matrix) MatMul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	MatMulInto(out, m, o)
+	return out
+}
+
+// MatMulInto computes dst = a × b, accumulating into a zeroed dst.
+// dst must not alias a or b. Large products are split across CPUs by
+// row ranges, which keeps writes disjoint.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work >= parallelThreshold && a.Rows > 1 {
+		parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+		return
+	}
+	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns m × oᵀ.
+func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %dx%d × (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Rows)
+	kernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Row(i)
+			for j := 0; j < o.Rows; j++ {
+				brow := o.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				out.Data[i*o.Rows+j] = s
+			}
+		}
+	}
+	if m.Rows*m.Cols*o.Rows >= parallelThreshold && m.Rows > 1 {
+		parallelRows(m.Rows, kernel)
+	} else {
+		kernel(0, m.Rows)
+	}
+	return out
+}
+
+// MatMulTransA returns mᵀ × o.
+func (m *Matrix) MatMulTransA(o *Matrix) *Matrix {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch (%dx%d)ᵀ × %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Cols, o.Cols)
+	if m.Rows*m.Cols*o.Cols >= parallelThreshold && m.Cols > 1 {
+		// Parallelize over output rows (columns of m); each worker owns a
+		// disjoint slice of out, trading m's access stride for safety.
+		parallelRows(m.Cols, func(lo, hi int) {
+			for k := 0; k < m.Rows; k++ {
+				arow := m.Row(k)
+				brow := o.Row(k)
+				for i := lo; i < hi; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					drow := out.Data[i*o.Cols : (i+1)*o.Cols]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		})
+		return out
+	}
+	for k := 0; k < m.Rows; k++ {
+		arow := m.Row(k)
+		brow := o.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Data[i*o.Cols : (i+1)*o.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns m + o element-wise.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.assertSameShape(o, "add")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace adds o into m and returns m.
+func (m *Matrix) AddInPlace(o *Matrix) *Matrix {
+	m.assertSameShape(o, "add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// AddScaledInPlace adds s*o into m and returns m.
+func (m *Matrix) AddScaledInPlace(o *Matrix, s float64) *Matrix {
+	m.assertSameShape(o, "addScaled")
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+	return m
+}
+
+// Sub returns m − o element-wise.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.assertSameShape(o, "sub")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product m ⊙ o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	m.assertSameShape(o, "mul")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s and returns m.
+func (m *Matrix) ScaleInPlace(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddRowVector returns m with the 1×Cols vector v added to each row.
+func (m *Matrix) AddRowVector(v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: addRowVector wants 1x%d, got %dx%d", m.Cols, v.Rows, v.Cols))
+	}
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		row := out.Row(i)
+		for j, b := range v.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// MulColVector returns m with each row i scaled by v[i] (v is Rows×1).
+func (m *Matrix) MulColVector(v *Matrix) *Matrix {
+	if v.Cols != 1 || v.Rows != m.Rows {
+		panic(fmt.Sprintf("tensor: mulColVector wants %dx1, got %dx%d", m.Rows, v.Rows, v.Cols))
+	}
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		s := v.Data[i]
+		row := out.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
+	}
+	return out
+}
+
+// ConcatCols returns [m ; o] stacked horizontally (same row count).
+func (m *Matrix) ConcatCols(o *Matrix) *Matrix {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: concatCols row mismatch %d vs %d", m.Rows, o.Rows))
+	}
+	out := New(m.Rows, m.Cols+o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Cols:], m.Row(i))
+		copy(out.Data[i*out.Cols+m.Cols:], o.Row(i))
+	}
+	return out
+}
+
+// ConcatRows returns m stacked on top of o (same column count).
+func (m *Matrix) ConcatRows(o *Matrix) *Matrix {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: concatRows col mismatch %d vs %d", m.Cols, o.Cols))
+	}
+	out := New(m.Rows+o.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	copy(out.Data[len(m.Data):], o.Data)
+	return out
+}
+
+// SliceCols returns columns [from, to) as a new matrix.
+func (m *Matrix) SliceCols(from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("tensor: sliceCols [%d,%d) of %d cols", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out
+}
+
+// SelectRows gathers the given row indices into a new matrix.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobeniusNorm returns sqrt(Σ mᵢⱼ²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply returns a new matrix with f applied element-wise.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Equal reports element-wise equality within tolerance eps.
+func (m *Matrix) Equal(o *Matrix, eps float64) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix %dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import "math"
+
+// ReLU returns max(0, x) element-wise.
+func ReLU(m *Matrix) *Matrix {
+	return m.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Tanh returns tanh(x) element-wise.
+func Tanh(m *Matrix) *Matrix { return m.Apply(math.Tanh) }
+
+// Sigmoid returns 1/(1+e^-x) element-wise, computed stably.
+func Sigmoid(m *Matrix) *Matrix { return m.Apply(SigmoidScalar) }
+
+// SigmoidScalar computes the logistic function with overflow protection.
+func SigmoidScalar(v float64) float64 {
+	if v >= 0 {
+		z := math.Exp(-v)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(v)
+	return z / (1 + z)
+}
+
+// SoftmaxRows returns row-wise softmax with max-subtraction stability.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		dst := out.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			dst[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// LogSumExpRows returns a Rows×1 matrix of log(Σⱼ exp(mᵢⱼ)).
+func LogSumExpRows(m *Matrix) *Matrix {
+	out := New(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - mx)
+		}
+		out.Data[i] = mx + math.Log(sum)
+	}
+	return out
+}
+
+// SumRows returns a Rows×1 column vector of row sums.
+func SumRows(m *Matrix) *Matrix {
+	out := New(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// SumCols returns a 1×Cols row vector of column sums.
+func SumCols(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Clamp limits v into [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

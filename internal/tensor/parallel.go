@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count above which matrix kernels fan out
+// across CPUs; below it goroutine overhead dominates.
+const parallelThreshold = 1 << 18
+
+// ParallelRows runs fn over [0, rows) split into contiguous ranges when
+// work (an operation-count estimate) exceeds the parallel threshold, and
+// serially otherwise. fn must only write state owned by its range.
+func ParallelRows(rows, work int, fn func(lo, hi int)) {
+	if work < parallelThreshold || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	parallelRows(rows, fn)
+}
+
+// parallelRows splits [0, rows) into contiguous ranges and runs fn on
+// each range concurrently. fn must only write state owned by its range.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

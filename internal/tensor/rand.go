@@ -1,0 +1,117 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*)
+// used everywhere in the repository so experiments are reproducible
+// without pulling math/rand state through every API.
+type RNG struct {
+	state uint64
+	// cached spare normal deviate for Box–Muller
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG seeds a generator; a zero seed is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// NormFloat64 returns a standard normal deviate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices via the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent generator, useful for parallel workers.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() | 1) }
+
+// RandNormal fills a fresh rows×cols matrix with N(0, std²) values.
+func RandNormal(rows, cols int, std float64, rng *RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// GlorotUniform returns a rows×cols matrix with Glorot/Xavier uniform
+// initialization, the default for all linear layers in this repository.
+func GlorotUniform(rows, cols int, rng *RNG) *Matrix {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+	return m
+}

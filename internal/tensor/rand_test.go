@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed should still produce a non-degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean too far from 0: %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance too far from 1: %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential must be non-negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean too far from 1: %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("not a permutation at %d: %d", i, v)
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(12)
+	xs := []int{1, 2, 3, 4, 5}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sort.Ints(xs)
+	for i, v := range xs {
+		if v != i+1 {
+			t.Fatalf("shuffle lost elements: %v", xs)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(13)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams suspiciously correlated: %d matches", same)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := NewRNG(14)
+	m := GlorotUniform(30, 50, rng)
+	limit := math.Sqrt(6.0 / 80.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("glorot value %v exceeds limit %v", v, limit)
+		}
+	}
+	// Should not be all zeros / constant.
+	if m.MaxAbs() == 0 {
+		t.Fatal("glorot produced zeros")
+	}
+}
+
+func TestRandNormalShape(t *testing.T) {
+	m := RandNormal(3, 4, 2, NewRNG(15))
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+}

@@ -1,0 +1,64 @@
+// Package turbo is the public entry point of this repository — a Go
+// reproduction of "Turbo: Fraud Detection in Deposit-free Leasing
+// Service via Real-Time Behavior Network Mining" (ICDE 2021).
+//
+// The package re-exports the end-to-end system facade. A Turbo system
+// ingests user behavior logs, maintains the time-evolving heterogeneous
+// Behavior Network (BN, §III) with hierarchical time windows and inverse
+// weight assignment, serves profile/transaction/statistical features,
+// and answers real-time audit requests with the HAG graph neural
+// network (§IV).
+//
+//	sys, err := turbo.New(turbo.Config{}, time.Now())
+//	sys.SetModel(trainedHAG, normalizer)
+//	sys.Ingest(turbo.Log{User: 42, Type: turbo.DeviceID, Value: "dev-1", Time: time.Now()})
+//	sys.RegisterApplication(42, features)
+//	pred, err := sys.Audit(42, time.Now())
+//
+// Deeper building blocks live in the internal packages: internal/bn
+// (Algorithm 1), internal/hag (SAO + CFO), internal/gnn (baseline GNNs
+// and training), internal/eval (the experiment harness regenerating
+// every table and figure of the paper), internal/datagen (the synthetic
+// Jimi-like world). See DESIGN.md for the full inventory.
+package turbo
+
+import (
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/core"
+)
+
+// System is a running Turbo instance (BN server + feature management +
+// prediction server, Fig. 2).
+type System = core.System
+
+// Config parameterizes a Turbo system.
+type Config = core.Config
+
+// Log is one user behavior record [uid, r, s, t].
+type Log = behavior.Log
+
+// UserID identifies a user.
+type UserID = behavior.UserID
+
+// BehaviorType enumerates the Table I behavior (= BN edge) types.
+type BehaviorType = behavior.Type
+
+// The Table I behavior types.
+const (
+	DeviceID  = behavior.DeviceID
+	IMEI      = behavior.IMEI
+	IMSI      = behavior.IMSI
+	IPv4      = behavior.IPv4
+	WiFiMAC   = behavior.WiFiMAC
+	GPS       = behavior.GPS
+	GPS100    = behavior.GPS100
+	GPSDev    = behavior.GPSDev
+	GPSDev100 = behavior.GPSDev100
+	Workplace = behavior.Workplace
+)
+
+// New creates a Turbo system anchored at t0; attach a trained model with
+// SetModel before serving audits.
+func New(cfg Config, t0 time.Time) (*System, error) { return core.New(cfg, t0) }

@@ -1,0 +1,104 @@
+package turbo_test
+
+import (
+	"testing"
+	"time"
+
+	"turbo"
+	"turbo/internal/eval"
+	"turbo/internal/feature"
+	"turbo/internal/gnn"
+)
+
+// TestPublicFacade exercises the root package exactly the way the README
+// quick start shows: create a system, attach a model, stream behavior,
+// register an application, audit.
+func TestPublicFacade(t *testing.T) {
+	t0 := time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+	sys, err := turbo.New(turbo.Config{}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 2 + feature.NumStatFeatures()
+	model := gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{4}, MLPHidden: 2, Seed: 1})
+	sys.SetModel(model, nil)
+
+	sys.Ingest(turbo.Log{User: 1, Type: turbo.DeviceID, Value: "dev", Time: t0.Add(time.Minute)})
+	sys.Ingest(turbo.Log{User: 2, Type: turbo.DeviceID, Value: "dev", Time: t0.Add(2 * time.Minute)})
+	for u := turbo.UserID(1); u <= 2; u++ {
+		if err := sys.RegisterApplication(u, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Advance(t0.Add(26 * time.Hour))
+
+	pred, err := sys.Audit(1, t0.Add(27*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.SubgraphNodes != 2 {
+		t.Fatalf("shared device should connect the users: %d nodes", pred.SubgraphNodes)
+	}
+}
+
+// TestFacadeTypeConstants pins the re-exported Table I constants to the
+// behavior package values.
+func TestFacadeTypeConstants(t *testing.T) {
+	if turbo.DeviceID != 0 || turbo.Workplace != 9 {
+		t.Fatal("behavior type constants re-exported wrong")
+	}
+	if turbo.BehaviorType(turbo.IMEI).String() != "IMEI" {
+		t.Fatal("type alias broken")
+	}
+}
+
+// TestFacadeWithTrainedHAG runs the README flow with a real (tiny) HAG.
+func TestFacadeWithTrainedHAG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	a := benchAssembled() // tiny assembled world shared with benches
+	h := benchHyper()
+	h.Epochs = 20
+	model, _ := eval.TrainHAG(a, eval.HAGFull, h, 1)
+
+	sys, err := turbo.New(turbo.Config{Threshold: 0.85}, a.Data.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetModel(model, a.Norm.Apply)
+	sys.IngestBatch(a.Data.Logs)
+	for i := range a.Data.Users {
+		u := &a.Data.Users[i]
+		if err := sys.RegisterApplication(u.ID, u.Features()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Advance(a.Data.End.Add(48 * time.Hour))
+
+	var fraudSum, fraudN, normSum, normN float64
+	for i := range a.Data.Users {
+		u := &a.Data.Users[i]
+		if i%7 != 0 { // sample for speed
+			continue
+		}
+		pred, err := sys.Audit(u.ID, u.AppTime.Add(24*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Fraud {
+			fraudSum += pred.Probability
+			fraudN++
+		} else {
+			normSum += pred.Probability
+			normN++
+		}
+	}
+	if fraudN == 0 || normN == 0 {
+		t.Skip("sample missed a class")
+	}
+	if fraudSum/fraudN <= normSum/normN {
+		t.Fatalf("online HAG scores do not separate: fraud %v vs normal %v",
+			fraudSum/fraudN, normSum/normN)
+	}
+}
