@@ -10,6 +10,7 @@ package turbo_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"turbo/internal/gnn"
 	"turbo/internal/graph"
 	"turbo/internal/hag"
+	"turbo/internal/server"
 	"turbo/internal/tensor"
 )
 
@@ -326,6 +328,110 @@ func BenchmarkSubgraphSampling(b *testing.B) {
 		u := a.Nodes[rng.Intn(len(a.Nodes))]
 		a.Graph.Sample(u, graph.SampleOptions{Hops: 2, MaxNeighbors: 32})
 	}
+}
+
+// buildBenchGraph constructs a live BN over the tiny world and returns
+// it with the node list.
+func buildBenchGraph(b *testing.B) (*graph.Graph, []graph.NodeID) {
+	b.Helper()
+	world := datagen.Generate(datagen.Tiny())
+	g := graph.New(behavior.NumTypes)
+	builder, err := bn.NewBuilder(bn.Config{}, world.Store(), g, world.Start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder.BuildRange(world.Start, world.End)
+	nodes := make([]graph.NodeID, len(world.Users))
+	for i := range world.Users {
+		nodes[i] = graph.NodeID(world.Users[i].ID)
+	}
+	return g, nodes
+}
+
+// BenchmarkGraphSnapshotSample compares subgraph sampling through the
+// two GraphView implementations — the live sharded graph (per-call shard
+// RLocks) and an immutable snapshot (zero locks) — under parallel
+// readers. The snapshot path is the one the BN server serves predictions
+// from.
+func BenchmarkGraphSnapshotSample(b *testing.B) {
+	g, nodes := buildBenchGraph(b)
+	snap := g.Snapshot()
+	for _, bc := range []struct {
+		name string
+		view graph.GraphView
+	}{{"live", g}, {"snapshot", snap}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var seed atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				rng := tensor.NewRNG(seed.Add(1))
+				for pb.Next() {
+					u := nodes[rng.Intn(len(nodes))]
+					bc.view.Sample(u, graph.SampleOptions{Hops: 2, MaxNeighbors: 32})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkConcurrentIngestPredict measures the Fig. 2 contention
+// scenario: one writer goroutine keeps mutating the BN (edge upserts
+// plus periodic Advance ticks that republish the snapshot) while
+// GOMAXPROCS reader goroutines serve Sample requests from the current
+// snapshot. Reader throughput should scale with goroutines because the
+// prediction path takes no graph mutex; compare ns/op against
+// BenchmarkGraphSnapshotSample/snapshot to see the residual cost.
+func BenchmarkConcurrentIngestPredict(b *testing.B) {
+	world := datagen.Generate(datagen.Tiny())
+	bnServer, err := server.NewBNServer(bn.Config{}, world.Start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bnServer.IngestBatch(world.Logs)
+	for i := range world.Users {
+		bnServer.RegisterTransaction(world.Users[i].ID)
+	}
+	bnServer.Advance(world.End)
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() { // window-job writer: upserts + epoch republication
+		defer close(writerDone)
+		g := bnServer.Graph()
+		// Re-accumulate weight onto the existing edge set (what repeated
+		// window jobs do), keeping topology — and thus sampling cost —
+		// constant so the benchmark isolates lock contention.
+		es := g.Edges()
+		if len(es) == 0 {
+			return
+		}
+		never := world.End.Add(10000 * time.Hour)
+		tick := world.End
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := es[i%len(es)]
+			_ = g.AddEdgeWeight(e.Type, e.U, e.V, 1e-9, never)
+			if i%4096 == 4095 {
+				tick = tick.Add(time.Hour)
+				bnServer.Advance(tick)
+			}
+		}
+	}()
+
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := tensor.NewRNG(100 + seed.Add(1))
+		for pb.Next() {
+			bnServer.Sample(world.Users[rng.Intn(len(world.Users))].ID)
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerDone
 }
 
 // BenchmarkHAGInference measures one HAG forward pass on a sampled

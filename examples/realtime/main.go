@@ -47,7 +47,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	// The scheduler tick materializes BN edges from the ingested logs.
+	// The scheduler tick materializes BN edges from the ingested logs and
+	// republishes the BN server's immutable read snapshot: every audit
+	// below samples its 2-hop subgraph from that epoch, lock-free, while
+	// any further ingestion would keep mutating the live sharded graph.
+	// Until the next Advance, audits see the BN as of this tick.
 	jobs := sys.Advance(live.End.Add(48 * time.Hour))
 	fmt.Printf("online: %d window jobs ran; live BN has %d edges\n",
 		jobs, sys.BNServer().Graph().NumEdges())

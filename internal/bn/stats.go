@@ -17,8 +17,9 @@ type Stats struct {
 	EdgesByType map[string]int
 }
 
-// CollectStats computes Table II-style statistics; isFraud may be nil.
-func CollectStats(g *graph.Graph, isFraud func(graph.NodeID) bool) Stats {
+// CollectStats computes Table II-style statistics from any read view of
+// the BN (live graph or snapshot); isFraud may be nil.
+func CollectStats(g graph.GraphView, isFraud func(graph.NodeID) bool) Stats {
 	s := Stats{
 		Nodes:       g.NumNodes(),
 		Edges:       g.NumEdges(),

@@ -26,7 +26,11 @@ import (
 type Assembled struct {
 	Data  *datagen.Dataset
 	Store *behavior.Store
-	Graph *graph.Graph
+	// Graph is an immutable snapshot of the constructed BN. Assembly
+	// freezes the graph once built, so every experiment scan (figures,
+	// homophily walks, full-batch compilation, baselines) reads the
+	// lock-free GraphView and can safely run in parallel.
+	Graph graph.GraphView
 	Feat  *feature.Service
 
 	Nodes  []graph.NodeID // node i is user ID i
@@ -78,7 +82,7 @@ func AssembleDataset(data *datagen.Dataset, opts AssembleOptions) *Assembled {
 
 	feat := feature.NewService(feature.Config{}, store)
 	n := len(data.Users)
-	a := &Assembled{Data: data, Store: store, Graph: g, Feat: feat}
+	a := &Assembled{Data: data, Store: store, Feat: feat}
 	a.Nodes = make([]graph.NodeID, n)
 	a.Labels = make([]float64, n)
 	a.Bools = make([]bool, n)
@@ -101,6 +105,9 @@ func AssembleDataset(data *datagen.Dataset, opts AssembleOptions) *Assembled {
 		}
 		copy(a.RawX.Row(i), vec)
 	}
+	// Freeze the BN: all experiment readers consume the immutable
+	// snapshot view from here on.
+	a.Graph = g.Snapshot()
 
 	// 80/20 split by UID.
 	rng := tensor.NewRNG(opts.SplitSeed)

@@ -7,8 +7,9 @@ import (
 	"time"
 )
 
-// snapshot is the serialized form of a graph.
-type snapshot struct {
+// gobGraph is the gob-serialized form of a graph (distinct from the
+// in-memory read Snapshot).
+type gobGraph struct {
 	NumTypes int
 	Nodes    []NodeID
 	Edges    []Edge
@@ -18,7 +19,7 @@ type snapshot struct {
 // expiries) in gob format, so a BN server can persist its state across
 // restarts (the paper's local-database role).
 func (g *Graph) Write(w io.Writer) error {
-	snap := snapshot{
+	snap := gobGraph{
 		NumTypes: g.NumEdgeTypes(),
 		Nodes:    g.Nodes(),
 		Edges:    g.Edges(),
@@ -31,7 +32,7 @@ func (g *Graph) Write(w io.Writer) error {
 
 // Read reconstructs a graph written by Write.
 func Read(r io.Reader) (*Graph, error) {
-	var snap snapshot
+	var snap gobGraph
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
 	}

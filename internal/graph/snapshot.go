@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Snapshot is an immutable, lock-free view of a Graph at one epoch:
+// flat CSR-like adjacency arrays per edge type plus precomputed typed
+// weighted degrees, so EdgeWeight/NormalizedWeight are O(log d) binary
+// searches with no lock and no degree scan. Snapshots are published by
+// Graph.Snapshot() (copy-on-write: the live graph keeps mutating, the
+// snapshot never changes) and are safe for unbounded concurrent use.
+type Snapshot struct {
+	epoch    uint64
+	numTypes int
+
+	ids   []NodeID         // sorted registered node IDs
+	index map[NodeID]int32 // id → dense row
+
+	// Per type t, row i of node ids[i] spans nbr[t][offsets[t][i]:offsets[t][i+1]],
+	// sorted by neighbor ID; wts and exp run parallel to nbr.
+	offsets [][]int32
+	nbr     [][]NodeID
+	wts     [][]float64
+	exp     [][]time.Time
+	deg     [][]float64 // deg[t][i] = typed weighted degree of ids[i]
+
+	numEdges    int
+	edgesByType []int
+}
+
+// Snapshot publishes an immutable view of the current graph state. It
+// briefly read-locks every shard simultaneously (so no half-written edge
+// is ever captured), copies adjacency into flat arrays, and stamps the
+// result with a monotonically increasing epoch. Cost is O(V + E); the
+// BN server calls it once per scheduler tick, off the prediction path.
+func (g *Graph) Snapshot() *Snapshot {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range g.shards {
+			g.shards[i].mu.RUnlock()
+		}
+	}()
+
+	s := &Snapshot{
+		epoch:    g.epoch.Add(1),
+		numTypes: g.numTypes,
+		numEdges: int(g.edgeCount.Load()),
+	}
+	s.edgesByType = make([]int, g.numTypes)
+	for t := range s.edgesByType {
+		s.edgesByType[t] = int(g.edgesByType[t].Load())
+	}
+
+	s.ids = make([]NodeID, 0, g.nodeCount.Load())
+	for i := range g.shards {
+		for id := range g.shards[i].nodes {
+			s.ids = append(s.ids, id)
+		}
+	}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	n := len(s.ids)
+	s.index = make(map[NodeID]int32, n)
+	for i, id := range s.ids {
+		s.index[id] = int32(i)
+	}
+
+	s.offsets = make([][]int32, g.numTypes)
+	s.nbr = make([][]NodeID, g.numTypes)
+	s.wts = make([][]float64, g.numTypes)
+	s.exp = make([][]time.Time, g.numTypes)
+	s.deg = make([][]float64, g.numTypes)
+	for t := 0; t < g.numTypes; t++ {
+		halves := 2 * s.edgesByType[t]
+		s.offsets[t] = make([]int32, n+1)
+		s.nbr[t] = make([]NodeID, 0, halves)
+		s.wts[t] = make([]float64, 0, halves)
+		s.exp[t] = make([]time.Time, 0, halves)
+		s.deg[t] = make([]float64, n)
+	}
+	for i, id := range s.ids {
+		na := g.shards[shardOf(id)].adj[id]
+		for t := 0; t < g.numTypes; t++ {
+			if na != nil {
+				for _, e := range na.byType[t] {
+					s.nbr[t] = append(s.nbr[t], e.to)
+					s.wts[t] = append(s.wts[t], e.weight)
+					s.exp[t] = append(s.exp[t], e.expireAt)
+				}
+				s.deg[t][i] = na.deg[t]
+			}
+			s.offsets[t][i+1] = int32(len(s.nbr[t]))
+		}
+	}
+	return s
+}
+
+// Epoch returns the snapshot's monotonically increasing publication
+// number (unique per source graph).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumEdgeTypes returns how many edge types the snapshot supports.
+func (s *Snapshot) NumEdgeTypes() int { return s.numTypes }
+
+// NumNodes returns the number of registered nodes.
+func (s *Snapshot) NumNodes() int { return len(s.ids) }
+
+// NumEdges returns the number of distinct typed undirected edges.
+func (s *Snapshot) NumEdges() int { return s.numEdges }
+
+// Nodes returns all node IDs, sorted.
+func (s *Snapshot) Nodes() []NodeID { return append([]NodeID(nil), s.ids...) }
+
+// HasNode reports whether u was registered at snapshot time.
+func (s *Snapshot) HasNode(u NodeID) bool {
+	_, ok := s.index[u]
+	return ok
+}
+
+// row returns the dense row of u, or -1.
+func (s *Snapshot) row(u NodeID) int32 {
+	if i, ok := s.index[u]; ok {
+		return i
+	}
+	return -1
+}
+
+// rowSpan returns the [lo, hi) span of u's type-t adjacency.
+func (s *Snapshot) rowSpan(u NodeID, t EdgeType) (int32, int32, bool) {
+	if int(t) >= s.numTypes {
+		return 0, 0, false
+	}
+	i := s.row(u)
+	if i < 0 {
+		return 0, 0, false
+	}
+	return s.offsets[t][i], s.offsets[t][i+1], true
+}
+
+// NeighborsByType returns u's neighbors over edges of type t, sorted by
+// node ID.
+func (s *Snapshot) NeighborsByType(u NodeID, t EdgeType) []Neighbor {
+	lo, hi, ok := s.rowSpan(u, t)
+	if !ok || lo == hi {
+		return nil
+	}
+	ns := make([]Neighbor, hi-lo)
+	for k := lo; k < hi; k++ {
+		ns[k-lo] = Neighbor{Node: s.nbr[t][k], Weight: s.wts[t][k]}
+	}
+	return ns
+}
+
+// Neighbors returns u's distinct neighbors across all edge types, sorted.
+func (s *Snapshot) Neighbors(u NodeID) []NodeID {
+	i := s.row(u)
+	if i < 0 {
+		return nil
+	}
+	seen := make(map[NodeID]struct{})
+	for t := 0; t < s.numTypes; t++ {
+		lo, hi := s.offsets[t][i], s.offsets[t][i+1]
+		for k := lo; k < hi; k++ {
+			seen[s.nbr[t][k]] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of distinct neighbors of u across all types.
+func (s *Snapshot) Degree(u NodeID) int { return len(s.Neighbors(u)) }
+
+// WeightedDegree returns Σ over all types and neighbors of edge weights.
+func (s *Snapshot) WeightedDegree(u NodeID) float64 {
+	i := s.row(u)
+	if i < 0 {
+		return 0
+	}
+	var d float64
+	for t := 0; t < s.numTypes; t++ {
+		d += s.deg[t][i]
+	}
+	return d
+}
+
+// TypedWeightedDegree returns the precomputed deg'_r(u); O(1), no lock.
+func (s *Snapshot) TypedWeightedDegree(u NodeID, t EdgeType) float64 {
+	if int(t) >= s.numTypes {
+		return 0
+	}
+	i := s.row(u)
+	if i < 0 {
+		return 0
+	}
+	return s.deg[t][i]
+}
+
+// findEdge binary-searches u's type-t row for v and returns the flat
+// index, or -1.
+func (s *Snapshot) findEdge(t EdgeType, u, v NodeID) int32 {
+	lo, hi, ok := s.rowSpan(u, t)
+	if !ok {
+		return -1
+	}
+	row := s.nbr[t][lo:hi]
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	if k < len(row) && row[k] == v {
+		return lo + int32(k)
+	}
+	return -1
+}
+
+// EdgeWeight returns the weight of the typed edge (u, v), or 0.
+func (s *Snapshot) EdgeWeight(t EdgeType, u, v NodeID) float64 {
+	if k := s.findEdge(t, u, v); k >= 0 {
+		return s.wts[t][k]
+	}
+	return 0
+}
+
+// NormalizedWeight returns the §III-A symmetric normalized weight in
+// O(log d) with no lock: a binary search for the edge plus two O(1)
+// precomputed degree lookups.
+func (s *Snapshot) NormalizedWeight(t EdgeType, u, v NodeID) float64 {
+	k := s.findEdge(t, u, v)
+	if k < 0 {
+		return 0
+	}
+	du := s.deg[t][s.row(u)]
+	dv := s.TypedWeightedDegree(v, t)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return s.wts[t][k] / math.Sqrt(du*dv)
+}
+
+// EdgeCountByType returns the number of undirected edges per type.
+func (s *Snapshot) EdgeCountByType() []int {
+	return append([]int(nil), s.edgesByType...)
+}
+
+// Stats summarizes the snapshot's size.
+func (s *Snapshot) Stats() Stats {
+	return Stats{Nodes: s.NumNodes(), Edges: s.NumEdges(), EdgesByType: s.EdgeCountByType()}
+}
+
+// Edges returns every typed undirected edge once (U < V), sorted by
+// (type, U, V).
+func (s *Snapshot) Edges() []Edge {
+	var es []Edge
+	for t := 0; t < s.numTypes; t++ {
+		for i, u := range s.ids {
+			lo, hi := s.offsets[t][i], s.offsets[t][i+1]
+			for k := lo; k < hi; k++ {
+				if v := s.nbr[t][k]; u < v {
+					es = append(es, Edge{Type: EdgeType(t), U: u, V: v, Weight: s.wts[t][k], ExpireAt: s.exp[t][k]})
+				}
+			}
+		}
+	}
+	// Rows are visited in ascending u and each row is sorted by v, so es
+	// is already sorted by (type, U, V).
+	return es
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"turbo/internal/tensor"
+)
+
+// randomGraph builds a random multigraph for equivalence checks.
+func randomGraph(seed uint64, nodes, edges int) *Graph {
+	rng := tensor.NewRNG(seed | 1)
+	g := New(3)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < edges; i++ {
+		u := NodeID(rng.Intn(nodes))
+		v := NodeID(rng.Intn(nodes))
+		if u == v {
+			continue
+		}
+		exp := base.Add(time.Duration(rng.Intn(200)) * time.Hour)
+		_ = g.AddEdgeWeight(EdgeType(rng.Intn(3)), u, v, rng.Float64()+0.01, exp)
+	}
+	g.AddNode(NodeID(nodes + 5)) // one isolated registered node
+	return g
+}
+
+// TestSnapshotMatchesLiveView: every GraphView accessor must agree
+// between the live graph and a snapshot taken from it.
+func TestSnapshotMatchesLiveView(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 12, 80)
+		s := g.Snapshot()
+		if !reflect.DeepEqual(g.Nodes(), s.Nodes()) {
+			t.Logf("nodes differ")
+			return false
+		}
+		if g.NumNodes() != s.NumNodes() || g.NumEdges() != s.NumEdges() {
+			return false
+		}
+		if !reflect.DeepEqual(g.EdgeCountByType(), s.EdgeCountByType()) {
+			return false
+		}
+		if !reflect.DeepEqual(g.Edges(), s.Edges()) {
+			return false
+		}
+		if !reflect.DeepEqual(g.Stats(), s.Stats()) {
+			return false
+		}
+		for _, u := range g.Nodes() {
+			if !reflect.DeepEqual(g.Neighbors(u), s.Neighbors(u)) {
+				return false
+			}
+			if g.Degree(u) != s.Degree(u) {
+				return false
+			}
+			if math.Abs(g.WeightedDegree(u)-s.WeightedDegree(u)) > 1e-12 {
+				return false
+			}
+			for typ := 0; typ < 3; typ++ {
+				et := EdgeType(typ)
+				if !reflect.DeepEqual(g.NeighborsByType(u, et), s.NeighborsByType(u, et)) {
+					return false
+				}
+				if math.Abs(g.TypedWeightedDegree(u, et)-s.TypedWeightedDegree(u, et)) > 1e-12 {
+					return false
+				}
+				for _, v := range g.Nodes() {
+					if math.Abs(g.EdgeWeight(et, u, v)-s.EdgeWeight(et, u, v)) > 1e-12 {
+						return false
+					}
+					if math.Abs(g.NormalizedWeight(et, u, v)-s.NormalizedWeight(et, u, v)) > 1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotSampleMatchesLive: deterministic sampling must produce the
+// same computation subgraph from either view.
+func TestSnapshotSampleMatchesLive(t *testing.T) {
+	g := randomGraph(7, 20, 120)
+	s := g.Snapshot()
+	for _, u := range g.Nodes() {
+		for _, opts := range []SampleOptions{
+			{Hops: 2},
+			{Hops: 2, MaxNeighbors: 3},
+			{Hops: 3, RawWeights: true},
+			{Hops: 2, Mask: MaskEdgeType(1)},
+		} {
+			a, b := g.Sample(u, opts), s.Sample(u, opts)
+			if !reflect.DeepEqual(a.Nodes, b.Nodes) || !reflect.DeepEqual(a.Hops, b.Hops) {
+				t.Fatalf("sample nodes differ for %d %+v", u, opts)
+			}
+			if !reflect.DeepEqual(a.TypedEdges, b.TypedEdges) {
+				t.Fatalf("sample edges differ for %d %+v", u, opts)
+			}
+		}
+	}
+}
+
+// TestSnapshotHopScansMatchLive checks the Fig. 4 scan helpers agree.
+func TestSnapshotHopScansMatchLive(t *testing.T) {
+	g := randomGraph(11, 15, 60)
+	s := g.Snapshot()
+	isFraud := func(n NodeID) bool { return n%3 == 0 }
+	for _, u := range g.Nodes() {
+		for only := -1; only < 3; only++ {
+			if !reflect.DeepEqual(g.FraudRatioByHop(u, 3, only, isFraud), s.FraudRatioByHop(u, 3, only, isFraud)) {
+				t.Fatalf("fraud ratio differs at %d type %d", u, only)
+			}
+		}
+		// Hop sets are maps, so summation order differs run to run;
+		// compare the means with a tolerance.
+		gm, sm := g.MeanDegreeByHop(u, 3, true), s.MeanDegreeByHop(u, 3, true)
+		for h := range gm {
+			if math.Abs(gm[h]-sm[h]) > 1e-9 {
+				t.Fatalf("mean degree differs at %d hop %d: %v vs %v", u, h+1, gm[h], sm[h])
+			}
+		}
+	}
+}
+
+// TestSnapshotIsImmutable: mutations after Snapshot() must not leak into
+// the published epoch (copy-on-write semantics).
+func TestSnapshotIsImmutable(t *testing.T) {
+	g := New(2)
+	_ = g.AddEdgeWeight(0, 1, 2, 1, never)
+	s := g.Snapshot()
+	_ = g.AddEdgeWeight(0, 1, 2, 5, never) // accumulate onto existing edge
+	_ = g.AddEdgeWeight(1, 1, 3, 2, never) // brand-new edge
+	g.Prune(never.Add(time.Hour))          // drop everything from the live graph
+
+	if w := s.EdgeWeight(0, 1, 2); w != 1 {
+		t.Fatalf("snapshot edge weight mutated: %v", w)
+	}
+	if s.NumEdges() != 1 || s.EdgeWeight(1, 1, 3) != 0 {
+		t.Fatal("snapshot gained edges written after publication")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("live graph should be pruned empty, has %d", g.NumEdges())
+	}
+}
+
+// TestSnapshotEpochMonotonic: publication numbers strictly increase.
+func TestSnapshotEpochMonotonic(t *testing.T) {
+	g := New(1)
+	s1 := g.Snapshot()
+	_ = g.AddEdgeWeight(0, 1, 2, 1, never)
+	s2 := g.Snapshot()
+	if s2.Epoch() <= s1.Epoch() {
+		t.Fatalf("epochs not increasing: %d then %d", s1.Epoch(), s2.Epoch())
+	}
+}
+
+// TestPruneDropsIsolatedAdjacencyKeepsRegisteredNodes documents the
+// registered-node semantics of Prune: adjacency entries of nodes whose
+// edges all expired are removed from the shard indexes (memory reclaim,
+// observable as empty neighbor lists), while the nodes themselves stay
+// registered — isolated users are still classified.
+func TestPruneDropsIsolatedAdjacencyKeepsRegisteredNodes(t *testing.T) {
+	g := New(2)
+	soon := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	_ = g.AddEdgeWeight(0, 1, 2, 1, soon)  // expires
+	_ = g.AddEdgeWeight(1, 3, 4, 1, never) // survives
+	g.AddNode(9)
+
+	if n := g.Prune(soon.Add(time.Hour)); n != 1 {
+		t.Fatalf("dropped %d want 1", n)
+	}
+	// Nodes 1 and 2 are now isolated: no adjacency left in any shard...
+	for _, u := range []NodeID{1, 2} {
+		if ns := g.Neighbors(u); len(ns) != 0 {
+			t.Fatalf("node %d still has neighbors %v after prune", u, ns)
+		}
+		if sh := &g.shards[shardOf(u)]; sh.adj[u] != nil {
+			t.Fatalf("node %d adjacency not dropped from shard index", u)
+		}
+	}
+	// ...but every node remains registered.
+	for _, u := range []NodeID{1, 2, 3, 4, 9} {
+		if !g.HasNode(u) {
+			t.Fatalf("node %d lost registration after prune", u)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes %d want 5", g.NumNodes())
+	}
+	// The surviving edge and its degree cache are intact.
+	if g.TypedWeightedDegree(3, 1) != 1 || g.EdgeWeight(1, 3, 4) != 1 {
+		t.Fatal("surviving edge damaged by prune")
+	}
+}

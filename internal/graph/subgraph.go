@@ -72,24 +72,37 @@ func MaskEdgeType(t EdgeType) EdgeMask { return EdgeMask(t) + 1 }
 // masked returns the excluded type index, or -1.
 func (m EdgeMask) masked() int { return int(m) - 1 }
 
-// Sample extracts the computation subgraph of target under opts. The
-// target is always included even when Filter rejects it.
+// Sample extracts the computation subgraph of target from the live graph.
 func (g *Graph) Sample(target NodeID, opts SampleOptions) *Subgraph {
+	return SampleView(g, target, opts)
+}
+
+// Sample extracts the computation subgraph of target from the snapshot,
+// acquiring no locks.
+func (s *Snapshot) Sample(target NodeID, opts SampleOptions) *Subgraph {
+	return SampleView(s, target, opts)
+}
+
+// SampleView extracts the computation subgraph of target under opts from
+// any GraphView. The target is always included even when Filter rejects
+// it.
+func SampleView(g GraphView, target NodeID, opts SampleOptions) *Subgraph {
 	if opts.Hops <= 0 {
 		opts.Hops = 2
 	}
+	numTypes := g.NumEdgeTypes()
 	masked := opts.Mask.masked()
 	sg := &Subgraph{
 		Nodes:      []NodeID{target},
 		Index:      map[NodeID]int{target: 0},
-		TypedEdges: make([][]LocalEdge, g.numTypes),
+		TypedEdges: make([][]LocalEdge, numTypes),
 		Hops:       []int{0},
 	}
 	frontier := []NodeID{target}
 	for hop := 1; hop <= opts.Hops; hop++ {
 		var next []NodeID
 		for _, u := range frontier {
-			for t := 0; t < g.numTypes; t++ {
+			for t := 0; t < numTypes; t++ {
 				if t == masked {
 					continue
 				}
@@ -114,7 +127,7 @@ func (g *Graph) Sample(target NodeID, opts SampleOptions) *Subgraph {
 	// Materialize all typed edges among included nodes. Typed weighted
 	// degrees (over the full graph, as the paper normalizes) are cached
 	// per subgraph node to avoid rescanning adjacency per edge.
-	for t := 0; t < g.numTypes; t++ {
+	for t := 0; t < numTypes; t++ {
 		if t == masked {
 			continue
 		}
@@ -180,13 +193,23 @@ func capNeighbors(ns []Neighbor, max int, rng *tensor.RNG) []Neighbor {
 	return sampled[:max]
 }
 
-// FraudRatioByHop returns, for each hop 1..maxHops from node u, the
+// FraudRatioByHop delegates to FraudRatioByHopView on the live graph.
+func (g *Graph) FraudRatioByHop(u NodeID, maxHops, onlyType int, isFraud func(NodeID) bool) []float64 {
+	return FraudRatioByHopView(g, u, maxHops, onlyType, isFraud)
+}
+
+// FraudRatioByHop delegates to FraudRatioByHopView on the snapshot.
+func (s *Snapshot) FraudRatioByHop(u NodeID, maxHops, onlyType int, isFraud func(NodeID) bool) []float64 {
+	return FraudRatioByHopView(s, u, maxHops, onlyType, isFraud)
+}
+
+// FraudRatioByHopView returns, for each hop 1..maxHops from node u, the
 // fraction of nodes at exactly that hop for which isFraud is true. It
 // backs the Fig. 4d–g homophily study: onlyType < 0 walks all edge types
 // (Fig. 4d); onlyType >= 0 restricts the walk to that edge type
 // (Fig. 4e–g per-type homophily). A hop with no nodes reports 0.
-func (g *Graph) FraudRatioByHop(u NodeID, maxHops int, onlyType int, isFraud func(NodeID) bool) []float64 {
-	hops := g.hopSets(u, maxHops, onlyType)
+func FraudRatioByHopView(g GraphView, u NodeID, maxHops, onlyType int, isFraud func(NodeID) bool) []float64 {
+	hops := hopSets(g, u, maxHops, onlyType)
 	out := make([]float64, maxHops)
 	for h := 1; h <= maxHops; h++ {
 		set := hops[h]
@@ -204,10 +227,21 @@ func (g *Graph) FraudRatioByHop(u NodeID, maxHops int, onlyType int, isFraud fun
 	return out
 }
 
-// MeanDegreeByHop returns the mean (optionally weighted) degree of the
-// nodes at each hop 1..maxHops from u — the Fig. 4h/4i structural study.
+// MeanDegreeByHop delegates to MeanDegreeByHopView on the live graph.
 func (g *Graph) MeanDegreeByHop(u NodeID, maxHops int, weighted bool) []float64 {
-	hops := g.hopSets(u, maxHops, -1) // all edge types
+	return MeanDegreeByHopView(g, u, maxHops, weighted)
+}
+
+// MeanDegreeByHop delegates to MeanDegreeByHopView on the snapshot.
+func (s *Snapshot) MeanDegreeByHop(u NodeID, maxHops int, weighted bool) []float64 {
+	return MeanDegreeByHopView(s, u, maxHops, weighted)
+}
+
+// MeanDegreeByHopView returns the mean (optionally weighted) degree of
+// the nodes at each hop 1..maxHops from u — the Fig. 4h/4i structural
+// study.
+func MeanDegreeByHopView(g GraphView, u NodeID, maxHops int, weighted bool) []float64 {
+	hops := hopSets(g, u, maxHops, -1) // all edge types
 	out := make([]float64, maxHops)
 	for h := 1; h <= maxHops; h++ {
 		set := hops[h]
@@ -229,7 +263,8 @@ func (g *Graph) MeanDegreeByHop(u NodeID, maxHops int, weighted bool) []float64 
 
 // hopSets returns, for hops 0..maxHops, the set of nodes first reached at
 // exactly that hop; onlyType >= 0 restricts the walk to that edge type.
-func (g *Graph) hopSets(u NodeID, maxHops, onlyType int) []map[NodeID]struct{} {
+func hopSets(g GraphView, u NodeID, maxHops, onlyType int) []map[NodeID]struct{} {
+	numTypes := g.NumEdgeTypes()
 	sets := make([]map[NodeID]struct{}, maxHops+1)
 	sets[0] = map[NodeID]struct{}{u: {}}
 	visited := map[NodeID]struct{}{u: {}}
@@ -238,7 +273,7 @@ func (g *Graph) hopSets(u NodeID, maxHops, onlyType int) []map[NodeID]struct{} {
 		sets[h] = make(map[NodeID]struct{})
 		var next []NodeID
 		for _, x := range frontier {
-			for t := 0; t < g.numTypes; t++ {
+			for t := 0; t < numTypes; t++ {
 				if onlyType >= 0 && t != onlyType {
 					continue
 				}

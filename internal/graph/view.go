@@ -1,0 +1,60 @@
+package graph
+
+// GraphView is the read-only boundary of the BN storage layer. Every
+// reader outside this package — subgraph sampling, BN statistics, GNN
+// batch construction, eval figure scans, the BLP/DTX baselines — consumes
+// a GraphView, never the adjacency internals.
+//
+// Two implementations exist:
+//
+//   - *Graph: the live sharded store. Always fresh; each call takes the
+//     owning shard's read lock.
+//   - *Snapshot: an immutable copy-on-write epoch published by
+//     Graph.Snapshot(). Completely lock-free; reads are as of the
+//     snapshot epoch. The BN server serves predictions from the current
+//     snapshot so the read path never contends with window-job writes.
+type GraphView interface {
+	// NumEdgeTypes returns how many edge types the view supports.
+	NumEdgeTypes() int
+	// NumNodes returns the number of registered nodes.
+	NumNodes() int
+	// NumEdges returns the number of distinct typed undirected edges.
+	NumEdges() int
+	// Nodes returns all node IDs, sorted.
+	Nodes() []NodeID
+	// HasNode reports whether u is registered.
+	HasNode(u NodeID) bool
+	// NeighborsByType returns u's neighbors over edges of type t, sorted
+	// by node ID.
+	NeighborsByType(u NodeID, t EdgeType) []Neighbor
+	// Neighbors returns u's distinct neighbors across all types, sorted.
+	Neighbors(u NodeID) []NodeID
+	// Degree returns the number of distinct neighbors of u.
+	Degree(u NodeID) int
+	// WeightedDegree returns the total edge weight incident to u.
+	WeightedDegree(u NodeID) float64
+	// TypedWeightedDegree returns deg'_r(u), the §III-A typed weighted degree.
+	TypedWeightedDegree(u NodeID, t EdgeType) float64
+	// EdgeWeight returns the weight of the typed edge (u, v), or 0.
+	EdgeWeight(t EdgeType, u, v NodeID) float64
+	// NormalizedWeight returns the §III-A symmetric normalized weight.
+	NormalizedWeight(t EdgeType, u, v NodeID) float64
+	// EdgeCountByType returns the number of undirected edges per type.
+	EdgeCountByType() []int
+	// Stats summarizes the view's size.
+	Stats() Stats
+	// Edges returns every typed undirected edge once (U < V), sorted.
+	Edges() []Edge
+	// Sample extracts the k-hop computation subgraph of target (§III-A).
+	Sample(target NodeID, opts SampleOptions) *Subgraph
+	// FraudRatioByHop backs the Fig. 4d–g homophily study.
+	FraudRatioByHop(u NodeID, maxHops, onlyType int, isFraud func(NodeID) bool) []float64
+	// MeanDegreeByHop backs the Fig. 4h/4i structural study.
+	MeanDegreeByHop(u NodeID, maxHops int, weighted bool) []float64
+}
+
+// Both implementations must satisfy the boundary.
+var (
+	_ GraphView = (*Graph)(nil)
+	_ GraphView = (*Snapshot)(nil)
+)

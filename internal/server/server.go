@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"turbo/internal/behavior"
@@ -20,14 +21,21 @@ import (
 	"turbo/internal/tensor"
 )
 
-// BNServer ingests logs and serves computation subgraphs.
+// BNServer ingests logs and serves computation subgraphs. Writes (the
+// scheduled window jobs) mutate the sharded live graph; the prediction
+// read path serves from an immutable snapshot republished after every
+// Advance tick, so sampling acquires no graph lock at all.
 type BNServer struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // serializes Advance (window-job scheduling)
 	store   *behavior.Store
 	builder *bn.Builder
 	g       *graph.Graph
-	// hasTxn marks users with transactions; only these belong to
-	// computation subgraphs (§III-A).
+	snap    atomic.Pointer[graph.Snapshot]
+	// txnMu guards hasTxn. hasTxn marks users with transactions; only
+	// these belong to computation subgraphs (§III-A). The Sample filter
+	// closure reads it concurrently with RegisterTransaction, so every
+	// access takes txnMu.
+	txnMu  sync.RWMutex
 	hasTxn map[behavior.UserID]bool
 
 	SampleHops      int
@@ -43,7 +51,7 @@ func NewBNServer(cfg bn.Config, t0 time.Time) (*BNServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BNServer{
+	s := &BNServer{
 		store:           store,
 		builder:         builder,
 		g:               g,
@@ -51,7 +59,9 @@ func NewBNServer(cfg bn.Config, t0 time.Time) (*BNServer, error) {
 		SampleHops:      2,
 		MaxNeighbors:    32,
 		SamplingLatency: metrics.NewLatencyRecorder(),
-	}, nil
+	}
+	s.snap.Store(g.Snapshot())
+	return s, nil
 }
 
 // Ingest stores one behavior log. Edges materialize when the scheduled
@@ -69,35 +79,57 @@ func (s *BNServer) IngestBatch(logs []behavior.Log) {
 // RegisterTransaction marks a user as having a transaction, making it
 // eligible for computation subgraphs.
 func (s *BNServer) RegisterTransaction(u behavior.UserID) {
-	s.mu.Lock()
+	s.txnMu.Lock()
 	s.hasTxn[u] = true
+	s.txnMu.Unlock()
 	s.g.AddNode(graph.NodeID(u))
-	s.mu.Unlock()
 }
 
-// Advance runs all window jobs due by now (the periodic scheduler tick)
-// and returns the number of epoch jobs executed.
+// Advance runs all window jobs due by now (the periodic scheduler tick),
+// republishes the read snapshot so subsequent predictions see the new
+// epoch, and returns the number of epoch jobs executed.
 func (s *BNServer) Advance(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.builder.Advance(now)
+	jobs := s.builder.Advance(now)
+	s.snap.Store(s.g.Snapshot())
+	return jobs
 }
 
-// Graph exposes the underlying BN (shared; treat as read-mostly).
+// Graph exposes the underlying live BN (shared; treat as read-mostly).
 func (s *BNServer) Graph() *graph.Graph { return s.g }
+
+// Snapshot returns the read snapshot predictions are currently served
+// from (the epoch published by the last Advance).
+func (s *BNServer) Snapshot() *graph.Snapshot { return s.snap.Load() }
+
+// View returns the read view used to serve user u: normally the current
+// lock-free snapshot; the live graph only when u was registered after
+// the last Advance tick and is therefore not in the snapshot yet.
+func (s *BNServer) View(u behavior.UserID) graph.GraphView {
+	if snap := s.snap.Load(); snap != nil && snap.HasNode(graph.NodeID(u)) {
+		return snap
+	}
+	return s.g
+}
 
 // Store exposes the log store (used by the feature service).
 func (s *BNServer) Store() *behavior.Store { return s.store }
 
 // Sample extracts the computation subgraph of user u, restricted to
 // users with transactions, recording the sampling latency (Fig. 8a).
+// When u is in the current snapshot (the steady state), sampling walks
+// the immutable epoch and performs zero graph mutex acquisitions.
 func (s *BNServer) Sample(u behavior.UserID) *graph.Subgraph {
 	var sg *graph.Subgraph
 	s.SamplingLatency.Time(func() {
-		s.mu.Lock()
-		filter := func(n graph.NodeID) bool { return s.hasTxn[behavior.UserID(n)] }
-		s.mu.Unlock()
-		sg = s.g.Sample(graph.NodeID(u), graph.SampleOptions{
+		filter := func(n graph.NodeID) bool {
+			s.txnMu.RLock()
+			ok := s.hasTxn[behavior.UserID(n)]
+			s.txnMu.RUnlock()
+			return ok
+		}
+		sg = s.View(u).Sample(graph.NodeID(u), graph.SampleOptions{
 			Hops:         s.SampleHops,
 			MaxNeighbors: s.MaxNeighbors,
 			Filter:       filter,

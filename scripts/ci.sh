@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, race-test the concurrent packages (graph shards,
+# BN construction, online serving — including the concurrent
+# ingest+predict stress tests), then the full tier-1 suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race (graph / bn / server)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/server/...
+
+echo "== go test (full tier-1)"
+go test ./...
+
+echo "CI OK"
