@@ -1,25 +1,45 @@
 // Command turbo-server runs the full online anti-fraud stack of Fig. 2:
-// it assembles a historical dataset, trains HAG, loads the history into
-// a live core.System, and serves the HTTP API (ingest / transaction /
-// predict / latency / stats).
+// it assembles a historical dataset, trains HAG (plus the feature-only
+// fallback model of the degradation ladder), loads the history into a
+// live core.System, and serves the HTTP API (ingest / transaction /
+// predict / latency / stats / healthz / readyz) with per-stage
+// deadlines, a feature-service circuit breaker, and load shedding.
 //
 // Usage:
 //
 //	turbo-server -preset tiny -addr :8080
 //	curl 'localhost:8080/predict?uid=42'
 //	curl localhost:8080/latency
+//
+// Chaos demo — inject a total feature outage and watch audits degrade
+// instead of failing:
+//
+//	turbo-server -preset tiny -fault.feature-error-rate 1
+//	curl 'localhost:8080/predict?uid=0'   # 200, "served_by":"fallback"/"prior"
+//	curl localhost:8080/stats             # served_by counters, breaker state
+//
+// The server drains gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"turbo/internal/baselines"
 	"turbo/internal/core"
 	"turbo/internal/datagen"
 	"turbo/internal/eval"
+	"turbo/internal/graph"
+	"turbo/internal/resilience"
+	"turbo/internal/server"
+	"turbo/internal/tensor"
 )
 
 func main() {
@@ -31,6 +51,26 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = harness default)")
 	threshold := flag.Float64("threshold", 0.85, "online fraud threshold (§VI-E uses 0.85)")
 	advanceEvery := flag.Duration("advance-every", 10*time.Second, "BN window-job scheduler period")
+
+	// Resilience posture.
+	maxInFlight := flag.Int("max-inflight", 256, "concurrent audit cap; excess load is shed with 429 (0 = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive feature failures that open the breaker")
+	breakerCoolDown := flag.Duration("breaker-cooldown", 10*time.Second, "breaker open → half-open cool-down")
+	retryAttempts := flag.Int("retry-attempts", 2, "attempts per feature fetch (1 = no retry)")
+	sampleTimeout := flag.Duration("sample-timeout", 500*time.Millisecond, "subgraph sampling deadline (0 = none)")
+	featureTimeout := flag.Duration("feature-timeout", time.Second, "feature fan-out deadline (0 = none)")
+	totalTimeout := flag.Duration("total-timeout", 2*time.Second, "end-to-end audit deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+
+	// Fault injection (chaos demo; all off by default).
+	faultErrRate := flag.Float64("fault.feature-error-rate", 0, "probability a feature fetch fails")
+	faultDelay := flag.Duration("fault.feature-delay", 0, "injected latency per feature fetch")
+	faultDelayRate := flag.Float64("fault.feature-delay-rate", 0, "probability of the injected feature delay (0 with a delay set = always)")
+	faultHangRate := flag.Float64("fault.feature-hang-rate", 0, "probability a feature fetch hangs")
+	faultHang := flag.Duration("fault.feature-hang", 30*time.Second, "duration of an injected feature hang")
+	faultSampleDelay := flag.Duration("fault.sample-delay", 0, "injected latency per subgraph sample")
+	faultSampleDelayRate := flag.Float64("fault.sample-delay-rate", 0, "probability of the injected sample delay (0 with a delay set = always)")
+	faultSeed := flag.Uint64("fault.seed", 1, "fault-injection RNG seed (deterministic fault sequences)")
 	flag.Parse()
 
 	var cfg datagen.Config
@@ -53,6 +93,20 @@ func main() {
 	model, _ := eval.TrainHAG(a, eval.HAGFull, h, 1)
 	log.Printf("trained on %d nodes / %d edges", a.Graph.NumNodes(), a.Graph.NumEdges())
 
+	// Tier-2 fallback: logistic regression over the same normalized
+	// feature rows HAG consumes, fitted on the training split. When the
+	// graph or feature fan-out cannot answer in budget, this scores the
+	// target user's own vector.
+	fbX := tensor.New(len(a.TrainIdx), a.X.Cols)
+	fbY := make([]float64, len(a.TrainIdx))
+	for i, idx := range a.TrainIdx {
+		copy(fbX.Row(i), a.X.Row(idx))
+		fbY[i] = a.Labels[idx]
+	}
+	fallback := &baselines.LogisticRegression{Balance: true}
+	fallback.Fit(fbX, fbY)
+	log.Printf("trained LR fallback on %d rows", fbX.Rows)
+
 	sys, err := core.New(core.Config{Threshold: *threshold}, a.Data.Start)
 	if err != nil {
 		log.Fatal(err)
@@ -68,13 +122,82 @@ func main() {
 	sys.Advance(a.Data.End.Add(48 * time.Hour))
 	log.Printf("live BN: %d nodes, %d edges", sys.BNServer().Graph().NumNodes(), sys.BNServer().Graph().NumEdges())
 
+	pred := sys.PredictionServer()
+	pred.Fallback = fallback
+	pred.Admission = resilience.NewAdmission(*maxInFlight)
+	pred.Breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: *breakerThreshold,
+		CoolDown:         *breakerCoolDown,
+	})
+	pred.Retry = resilience.RetryConfig{Attempts: *retryAttempts, BaseDelay: 5 * time.Millisecond, Seed: *faultSeed}
+	pred.Deadlines = server.StageDeadlines{
+		Sample:  *sampleTimeout,
+		Feature: *featureTimeout,
+		Total:   *totalTimeout,
+	}
+
+	if *faultErrRate > 0 || *faultDelay > 0 || *faultHangRate > 0 {
+		inj := resilience.NewInjector(resilience.FaultConfig{
+			ErrorRate: *faultErrRate,
+			Delay:     *faultDelay,
+			DelayRate: *faultDelayRate,
+			HangRate:  *faultHangRate,
+			Hang:      *faultHang,
+			Seed:      *faultSeed,
+		})
+		pred.SetFeatureSource(resilience.InjectFeatures(sys.Features(), inj))
+		log.Printf("CHAOS: feature faults on (err=%.2f delay=%v hang=%.2f seed=%d)",
+			*faultErrRate, *faultDelay, *faultHangRate, *faultSeed)
+	}
+	if *faultSampleDelay > 0 {
+		inj := resilience.NewInjector(resilience.FaultConfig{
+			Delay:     *faultSampleDelay,
+			DelayRate: *faultSampleDelayRate,
+			Seed:      *faultSeed,
+		})
+		sys.BNServer().SetViewWrapper(func(v graph.GraphView) graph.GraphView {
+			return resilience.InjectView(v, inj)
+		})
+		log.Printf("CHAOS: sampling delay on (%v, seed=%d)", *faultSampleDelay, *faultSeed)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	// The scheduler tick: window jobs run in parallel to predictions.
 	go func() {
-		for range time.Tick(*advanceEvery) {
-			sys.Advance(time.Now())
+		ticker := time.NewTicker(*advanceEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				sys.Advance(time.Now())
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 
-	fmt.Printf("serving on %s — try /predict?uid=0, /stats, /latency\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, sys.API()))
+	api := sys.API()
+	api.ErrorLog = log.Default()
+	srv := &http.Server{Addr: *addr, Handler: api}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("serving on %s — try /predict?uid=0, /stats, /latency, /readyz\n", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight audits for up
+	// to the drain budget, then exit.
+	log.Printf("signal received, draining for up to %v…", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained; bye")
 }

@@ -91,10 +91,17 @@ func (s *System) Advance(now time.Time) int { return s.bn.Advance(now) }
 
 // Audit serves one real-time fraud detection request.
 func (s *System) Audit(u behavior.UserID, at time.Time) (server.Prediction, error) {
+	return s.AuditCtx(context.Background(), u, at)
+}
+
+// AuditCtx is Audit under a caller deadline: the context bounds the
+// whole request on top of the prediction server's per-stage deadlines,
+// and degraded-mode scoring applies when a stage cannot answer in time.
+func (s *System) AuditCtx(ctx context.Context, u behavior.UserID, at time.Time) (server.Prediction, error) {
 	if s.pred == nil {
 		return server.Prediction{}, fmt.Errorf("core: no model attached; call SetModel first")
 	}
-	return s.pred.Predict(u, at)
+	return s.pred.PredictCtx(ctx, u, at)
 }
 
 // API returns the HTTP handler for the online stack (nil until SetModel).

@@ -9,12 +9,20 @@
 package feature
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"turbo/internal/behavior"
 	"turbo/internal/store"
 )
+
+// Source is the read boundary the prediction server consumes: one
+// deadline-aware vector fetch. *Service implements it directly;
+// resilience.InjectFeatures wraps it with chaos faults.
+type Source interface {
+	VectorCtx(ctx context.Context, u behavior.UserID, cutoff time.Time) ([]float64, error)
+}
 
 // StatWindows are the statistical-feature windows.
 var StatWindows = []time.Duration{time.Hour, 24 * time.Hour, 72 * time.Hour}
@@ -93,6 +101,16 @@ func (s *Service) Profile(u behavior.UserID) ([]float64, error) {
 // the full vector; the cold path recomputes it, paying DBLatency per
 // database scan.
 func (s *Service) Vector(u behavior.UserID, cutoff time.Time) ([]float64, error) {
+	return s.VectorCtx(context.Background(), u, cutoff)
+}
+
+// VectorCtx is Vector with a deadline: the simulated database round-trip
+// is cut short when ctx expires, so a slow cold path cannot hold an
+// audit past its stage budget.
+func (s *Service) VectorCtx(ctx context.Context, u behavior.UserID, cutoff time.Time) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := vectorKey(u)
 	if !s.cfg.DisableCache {
 		if v, ok := s.cache.Get(key); ok {
@@ -104,7 +122,13 @@ func (s *Service) Vector(u behavior.UserID, cutoff time.Time) ([]float64, error)
 		return nil, err
 	}
 	if s.cfg.DBLatency > 0 {
-		time.Sleep(s.cfg.DBLatency)
+		t := time.NewTimer(s.cfg.DBLatency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("feature: vector of user %d: %w", u, ctx.Err())
+		}
 	}
 	stats := s.StatFeatures(u, cutoff)
 	vec := make([]float64, 0, len(static)+len(stats))
@@ -149,6 +173,8 @@ func (s *Service) Profiles() *store.ReplicatedTable { return s.profiles }
 
 // InvalidateUser drops any cached vector for u (called on new logs).
 func (s *Service) InvalidateUser(u behavior.UserID) { s.cache.Delete(vectorKey(u)) }
+
+var _ Source = (*Service)(nil)
 
 func profileKey(u behavior.UserID) string { return fmt.Sprintf("p/%d", u) }
 func vectorKey(u behavior.UserID) string  { return fmt.Sprintf("v/%d", u) }

@@ -1,6 +1,8 @@
 package feature
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -181,5 +183,53 @@ func TestDBLatencySimulation(t *testing.T) {
 	_, _ = svc.Vector(1, t0)
 	if time.Since(start) < 5*time.Millisecond {
 		t.Fatal("DBLatency not applied on cold path")
+	}
+}
+
+func TestVectorCtxCancellation(t *testing.T) {
+	svc := newSvc(Config{DisableCache: true}, []behavior.Log{mk(1, behavior.DeviceID, "d", time.Minute)})
+	if err := svc.PutProfile(1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Already-canceled context fails before any work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.VectorCtx(ctx, 1, t0.Add(time.Hour)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A deadline cuts the simulated DB round-trip short.
+	slow := newSvc(Config{DisableCache: true, DBLatency: 5 * time.Second}, nil)
+	if err := slow.PutProfile(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer dcancel()
+	start := time.Now()
+	_, err := slow.VectorCtx(dctx, 1, t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("DB latency was not cut short by the deadline")
+	}
+
+	// Background context behaves exactly like Vector.
+	v1, err := svc.VectorCtx(context.Background(), 1, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := svc.Vector(1, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("ctx and plain paths disagree: %v vs %v", v1, v2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("ctx and plain paths disagree at %d: %v vs %v", i, v1, v2)
+		}
 	}
 }

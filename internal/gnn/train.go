@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -125,4 +126,15 @@ func Score(m Model, b *Batch) float64 {
 	tape := autodiff.NewTape()
 	logits := m.Forward(tape, b, nil)
 	return tensor.SigmoidScalar(logits.Value.Data[0])
+}
+
+// ScoreCtx is Score with a deadline check at the stage boundary: an
+// audit whose budget is already spent fails fast instead of paying for
+// a forward pass whose result nobody will use. The forward pass itself
+// is pure in-memory compute and is not preempted once started.
+func ScoreCtx(ctx context.Context, m Model, b *Batch) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return Score(m, b), nil
 }

@@ -1,0 +1,44 @@
+package metrics
+
+import "sync"
+
+// CounterSet is a small named-counter group used by the online stack to
+// count served-by tiers, shed requests and degraded audits. Safe for
+// concurrent use.
+type CounterSet struct {
+	mu     sync.RWMutex
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]int64)}
+}
+
+// Inc adds 1 to the named counter.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter.
+func (c *CounterSet) Add(name string, n int64) {
+	c.mu.Lock()
+	c.counts[name] += n
+	c.mu.Unlock()
+}
+
+// Get returns the named counter (0 when never incremented).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	if c.Get("missing") != 0 {
+		t.Fatal("unset counter must read 0")
+	}
+	c.Inc("hag")
+	c.Inc("hag")
+	c.Add("degraded", 3)
+	if c.Get("hag") != 2 || c.Get("degraded") != 3 {
+		t.Fatalf("counts %v", c.Snapshot())
+	}
+	snap := c.Snapshot()
+	snap["hag"] = 99 // snapshot is a copy
+	if c.Get("hag") != 2 {
+		t.Fatal("snapshot aliased internal state")
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("count %d want 8000", c.Get("n"))
+	}
+}

@@ -1,0 +1,45 @@
+package resilience
+
+import "errors"
+
+// ErrOverloaded is returned when the admission controller sheds a
+// request because too many audits are already in flight. The HTTP layer
+// maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("resilience: too many in-flight requests")
+
+// Admission is a semaphore-based admission controller: it caps the
+// number of concurrent audits and sheds excess load immediately instead
+// of queueing it (fail fast beats a deep queue under overload — queued
+// audits would only time out after tying up memory).
+type Admission struct {
+	sem chan struct{}
+}
+
+// NewAdmission builds a controller admitting up to max concurrent
+// requests. max <= 0 returns nil, which callers treat as "unbounded".
+func NewAdmission(max int) *Admission {
+	if max <= 0 {
+		return nil
+	}
+	return &Admission{sem: make(chan struct{}, max)}
+}
+
+// TryAcquire claims a slot without blocking, reporting whether one was
+// available. Pair every true return with exactly one Release.
+func (a *Admission) TryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (a *Admission) Release() { <-a.sem }
+
+// InFlight returns the number of currently admitted requests.
+func (a *Admission) InFlight() int { return len(a.sem) }
+
+// Cap returns the admission limit.
+func (a *Admission) Cap() int { return cap(a.sem) }

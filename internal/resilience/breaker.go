@@ -1,0 +1,205 @@
+// Package resilience implements the fault-tolerance primitives of the
+// online audit path: a circuit breaker guarding the feature service,
+// bounded retry with jittered exponential backoff for transient errors,
+// a semaphore-based admission controller that sheds load when too many
+// audits are in flight, and a deterministic fault injector used by the
+// chaos tests and the turbo-server -fault.* flags. Real-time fraud
+// scoring must keep answering under partial failure (cf. the BRIGHT and
+// Lambda-architecture fraud systems): when the graph or feature path is
+// slow or down, the prediction server degrades to a cheaper score rather
+// than dropping the audit.
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker rejects
+// calls (open, or half-open with all probe slots taken).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the classic three-state breaker automaton.
+type BreakerState int32
+
+const (
+	// StateClosed passes every call through, counting consecutive
+	// failures.
+	StateClosed BreakerState = iota
+	// StateOpen fails fast without calling the dependency until the
+	// cool-down elapses.
+	StateOpen
+	// StateHalfOpen lets a bounded number of probe calls through; their
+	// outcome decides between closing and reopening.
+	StateHalfOpen
+)
+
+// String renders the state for logs and the /readyz payload.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. Zero values select defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker open. 0 selects 5.
+	FailureThreshold int
+	// CoolDown is how long the breaker stays open before letting probe
+	// calls through (half-open). 0 selects 30 s.
+	CoolDown time.Duration
+	// HalfOpenProbes caps concurrent probe calls while half-open. 0
+	// selects 1.
+	HalfOpenProbes int
+	// SuccessesToClose is the number of consecutive probe successes that
+	// closes the breaker again. 0 selects 1.
+	SuccessesToClose int
+	// Clock overrides the time source (tests drive cool-down with a fake
+	// clock). Nil selects time.Now.
+	Clock func() time.Time
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.CoolDown <= 0 {
+		c.CoolDown = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Breaker is a thread-safe circuit breaker. Callers pair every
+// successful Allow with exactly one Record of the call's outcome.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	inFlight  int // probes admitted while half-open
+	openedAt  time.Time
+	trips     int64
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. It returns ErrBreakerOpen
+// while open (before the cool-down) and transitions open → half-open
+// once the cool-down has elapsed, admitting up to HalfOpenProbes probes.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.CoolDown {
+			return ErrBreakerOpen
+		}
+		b.state = StateHalfOpen
+		b.successes = 0
+		b.inFlight = 1
+		return nil
+	default: // StateHalfOpen
+		if b.inFlight >= b.cfg.HalfOpenProbes {
+			return ErrBreakerOpen
+		}
+		b.inFlight++
+		return nil
+	}
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		if !ok {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessesToClose {
+			b.state = StateClosed
+			b.failures = 0
+		}
+	default:
+		// A call admitted before the trip finished late; its outcome no
+		// longer changes the open state.
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.openedAt = b.cfg.Clock()
+	b.failures = 0
+	b.successes = 0
+	b.inFlight = 0
+	b.trips++
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Do runs fn under the breaker: Allow, then Record(fn() == nil). The
+// isFailure classifier, when non-nil, decides which errors count as
+// dependency failures (e.g. a not-found row is a successful round-trip).
+func (b *Breaker) Do(fn func() error, isFailure func(error) bool) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	if isFailure == nil {
+		b.Record(err == nil)
+	} else {
+		b.Record(err == nil || !isFailure(err))
+	}
+	return err
+}

@@ -1,0 +1,293 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, CoolDown: time.Minute, Clock: clk.Now})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("failure %d: breaker closed prematurely: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state %v before threshold, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false) // third consecutive failure trips it
+	if b.State() != StateOpen {
+		t.Fatalf("state %v after threshold, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips %d want 1", b.Trips())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2})
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	if b.State() != StateClosed {
+		t.Fatal("non-consecutive failures must not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenCloseAndReopen(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, CoolDown: time.Minute, Clock: clk.Now})
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	// Before cool-down: still open.
+	clk.Advance(30 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allowed before cool-down: %v", err)
+	}
+
+	// After cool-down: half-open, a single probe admitted.
+	clk.Advance(31 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cool-down: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %v want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+
+	// Failed probe reopens.
+	b.Record(false)
+	if b.State() != StateOpen || b.Trips() != 2 {
+		t.Fatalf("state %v trips %d after failed probe, want open/2", b.State(), b.Trips())
+	}
+
+	// Successful probe closes.
+	clk.Advance(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal("closed breaker must admit calls")
+	}
+}
+
+func TestBreakerDoClassifiesFailures(t *testing.T) {
+	errMiss := errors.New("not found")
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	// A "not found" round-trip is a success for breaker purposes.
+	err := b.Do(func() error { return errMiss }, func(err error) bool { return !errors.Is(err, errMiss) })
+	if !errors.Is(err, errMiss) {
+		t.Fatalf("Do swallowed the call error: %v", err)
+	}
+	if b.State() != StateClosed {
+		t.Fatal("classified non-failure tripped the breaker")
+	}
+	_ = b.Do(func() error { return errors.New("boom") }, nil)
+	if b.State() != StateOpen {
+		t.Fatal("real failure did not trip the breaker")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Attempts: 4, BaseDelay: time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	base := errors.New("down")
+	err := Retry(context.Background(), RetryConfig{Attempts: 3, BaseDelay: time.Microsecond}, func(context.Context) error {
+		calls++
+		return base
+	})
+	if calls != 3 {
+		t.Fatalf("calls %d want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("lost the cause: %v", err)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	notFound := errors.New("no row")
+	err := Retry(context.Background(), RetryConfig{Attempts: 5, BaseDelay: time.Microsecond}, func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("lookup: %w", notFound))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, notFound) {
+		t.Fatalf("permanent wrapper broke the error chain: %v", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("IsPermanent lost the marker")
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryConfig{Attempts: 100, BaseDelay: 10 * time.Second}, func(context.Context) error {
+		calls++
+		cancel() // cancel during the first backoff sleep
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls %d want 1 (context canceled during backoff)", calls)
+	}
+	if err == nil {
+		t.Fatal("want error after cancellation")
+	}
+}
+
+func TestRetryZeroConfigRunsOnce(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Retry(context.Background(), RetryConfig{}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 1 || !errors.Is(err, boom) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestAdmissionShedsBeyondCap(t *testing.T) {
+	a := NewAdmission(2)
+	if !a.TryAcquire() || !a.TryAcquire() {
+		t.Fatal("slots under cap must be granted")
+	}
+	if a.TryAcquire() {
+		t.Fatal("third acquire must be shed")
+	}
+	if a.InFlight() != 2 || a.Cap() != 2 {
+		t.Fatalf("inflight=%d cap=%d", a.InFlight(), a.Cap())
+	}
+	a.Release()
+	if !a.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestAdmissionUnboundedIsNil(t *testing.T) {
+	if NewAdmission(0) != nil {
+		t.Fatal("max<=0 must mean unbounded (nil)")
+	}
+}
+
+func TestInjectorDeterministicErrorRate(t *testing.T) {
+	for _, rate := range []float64{0, 1} {
+		inj := NewInjector(FaultConfig{ErrorRate: rate, Seed: 7})
+		for k := 0; k < 50; k++ {
+			err := inj.Fault(context.Background())
+			if rate == 0 && err != nil {
+				t.Fatalf("rate 0 injected %v", err)
+			}
+			if rate == 1 && !errors.Is(err, ErrInjected) {
+				t.Fatalf("rate 1 did not inject: %v", err)
+			}
+		}
+	}
+	// Same seed → same fault sequence.
+	seq := func() []bool {
+		inj := NewInjector(FaultConfig{ErrorRate: 0.5, Seed: 42})
+		out := make([]bool, 64)
+		for k := range out {
+			out[k] = inj.Fault(context.Background()) != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("fault sequence not deterministic at call %d", k)
+		}
+	}
+}
+
+func TestInjectorDelayAndContextCutoff(t *testing.T) {
+	inj := NewInjector(FaultConfig{Delay: 30 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	if err := inj.Fault(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+
+	// A hang must be cut short by the context deadline.
+	inj = NewInjector(FaultConfig{HangRate: 1, Hang: 10 * time.Second, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err := inj.Fault(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang was not cut short")
+	}
+	_, _, hangs := inj.Counts()
+	if hangs != 1 {
+		t.Fatalf("hangs %d want 1", hangs)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fault(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig bounds a retry loop. The zero value runs the call once
+// with no retries.
+type RetryConfig struct {
+	// Attempts is the total number of attempts (first call included).
+	// Values <= 1 disable retrying.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// further attempt. 0 selects 10 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 selects 1 s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each backoff that is randomized in
+	// [1-Jitter, 1]. 0 selects 0.5; values are clamped to [0, 1].
+	Jitter float64
+	// Seed drives the jitter RNG, keeping backoff schedules
+	// deterministic in tests. 0 selects 1.
+	Seed uint64
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry returns it immediately instead of
+// retrying (e.g. "row not found" is a definitive answer, not an outage).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries a Permanent marker.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Retry runs fn up to cfg.Attempts times, sleeping a jittered
+// exponential backoff between attempts. It stops early on success, on a
+// Permanent error, or when ctx is done (the context's deadline bounds
+// the whole loop including backoff sleeps). The last error is returned,
+// wrapped with the attempt count when all attempts failed.
+func Retry(ctx context.Context, cfg RetryConfig, fn func(context.Context) error) error {
+	attempts := cfg.Attempts
+	if attempts <= 1 {
+		attempts = 1
+	}
+	base := cfg.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxDelay := cfg.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	jitter := cfg.Jitter
+	if jitter <= 0 {
+		jitter = 0.5
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var rng *rand.Rand // lazily created: the happy path never jitters
+
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if IsPermanent(err) || attempt == attempts-1 {
+			break
+		}
+		d := base << uint(attempt)
+		if d > maxDelay || d <= 0 {
+			d = maxDelay
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(int64(seed)))
+		}
+		d = time.Duration(float64(d) * (1 - jitter*rng.Float64()))
+		if cerr := sleepCtx(ctx, d); cerr != nil {
+			return err
+		}
+	}
+	if IsPermanent(err) || attempts == 1 {
+		return err
+	}
+	return fmt.Errorf("resilience: %d attempts: %w", attempts, err)
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx.Err() when
+// the sleep was cut short.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"time"
 
 	"turbo/internal/behavior"
+	"turbo/internal/resilience"
 )
 
 // API exposes the online stack over HTTP:
@@ -16,11 +20,20 @@ import (
 //	POST /transaction?uid=1 registers an application for uid
 //	GET  /predict?uid=1     runs one audit request
 //	GET  /latency           returns the §V latency digests
-//	GET  /stats             returns BN size statistics
+//	GET  /stats             returns BN size statistics (current snapshot)
+//	GET  /healthz           liveness probe
+//	GET  /readyz            readiness: snapshot, model, breaker state
+//
+// Error contract: wrong method → 405, bad parameters → 400, unknown
+// user → 404, shed load → 429, uncaught deadline → 504, anything else →
+// a generic 500 (internal error strings go to ErrorLog, not the wire).
 type API struct {
 	Pred *PredictionServer
 	BN   *BNServer
-	mux  *http.ServeMux
+	// ErrorLog receives internal errors that are masked on the wire.
+	// Nil discards them.
+	ErrorLog *log.Logger
+	mux      *http.ServeMux
 }
 
 // NewAPI builds the HTTP handler around a prediction server.
@@ -28,18 +41,39 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a := &API{Pred: pred, BN: bn, mux: http.NewServeMux()}
 	a.mux.HandleFunc("/ingest", a.handleIngest)
 	a.mux.HandleFunc("/transaction", a.handleTransaction)
-	a.mux.HandleFunc("/predict", a.handlePredict)
-	a.mux.HandleFunc("/latency", a.handleLatency)
-	a.mux.HandleFunc("/stats", a.handleStats)
-	a.mux.HandleFunc("/subgraph", a.handleSubgraph)
+	a.mux.HandleFunc("/predict", requireGET(a.handlePredict))
+	a.mux.HandleFunc("/latency", requireGET(a.handleLatency))
+	a.mux.HandleFunc("/stats", requireGET(a.handleStats))
+	a.mux.HandleFunc("/subgraph", requireGET(a.handleSubgraph))
+	a.mux.HandleFunc("/healthz", requireGET(a.handleHealthz))
+	a.mux.HandleFunc("/readyz", requireGET(a.handleReadyz))
 	return a
 }
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
+// requireGET rejects every method but GET with 405.
+func requireGET(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (a *API) logf(format string, args ...any) {
+	if a.ErrorLog != nil {
+		a.ErrorLog.Printf(format, args...)
+	}
+}
+
 func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
@@ -61,6 +95,7 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleTransaction(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
@@ -79,12 +114,20 @@ func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	pred, err := a.Pred.Predict(uid, time.Now())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	pred, err := a.Pred.PredictCtx(r.Context(), uid, time.Now())
+	switch {
+	case err == nil:
+		writeJSON(w, pred)
+	case errors.Is(err, ErrUnknownUser):
+		http.Error(w, fmt.Sprintf("unknown user %d", uid), http.StatusNotFound)
+	case errors.Is(err, resilience.ErrOverloaded):
+		http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, "audit timed out", http.StatusGatewayTimeout)
+	default:
+		a.logf("predict uid=%d: %v", uid, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
-	writeJSON(w, pred)
 }
 
 func (a *API) handleLatency(w http.ResponseWriter, r *http.Request) {
@@ -108,13 +151,20 @@ func (a *API) handleLatency(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleStats serves node/edge counts from the current snapshot — the
+// lock-free read path — never from the live (locked) graph, so a stats
+// poll cannot contend with window-job writes.
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := a.BN.Graph().Stats()
+	snap := a.BN.Snapshot()
+	st := snap.Stats()
 	writeJSON(w, map[string]any{
-		"nodes":         st.Nodes,
-		"edges":         st.Edges,
-		"edges_by_type": st.EdgesByType,
-		"logs":          a.BN.Store().Len(),
+		"nodes":          st.Nodes,
+		"edges":          st.Edges,
+		"edges_by_type":  st.EdgesByType,
+		"logs":           a.BN.Store().Len(),
+		"snapshot_epoch": snap.Epoch(),
+		"served_by":      a.Pred.ServedCounts(),
+		"breaker":        a.Pred.BreakerState(),
 	})
 }
 
@@ -130,7 +180,39 @@ func (a *API) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
 	title := fmt.Sprintf("user-%d", uid)
 	if err := sg.WriteDOT(w, title, nil); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		a.logf("subgraph uid=%d: %v", uid, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: a snapshot has been published, a
+// model is loaded, and the breaker state is reported. Not ready → 503,
+// so load balancers stop routing audits here while still seeing the
+// process as alive.
+func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := a.BN.Snapshot()
+	modelLoaded := a.Pred.ModelLoaded()
+	ready := snap != nil && modelLoaded
+	body := map[string]any{
+		"ready":        ready,
+		"model_loaded": modelLoaded,
+		"breaker":      a.Pred.BreakerState(),
+	}
+	if snap != nil {
+		body["snapshot_epoch"] = snap.Epoch()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		a.logf("readyz: %v", err)
 	}
 }
 

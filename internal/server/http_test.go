@@ -2,11 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"turbo/internal/resilience"
 )
 
 func newTestAPI(t *testing.T) *API {
@@ -210,5 +213,184 @@ func TestHTTPSubgraphDOT(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad uid status %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPMethodEnforcement(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for _, path := range []string{"/predict?uid=1", "/latency", "/stats", "/subgraph?uid=1", "/healthz", "/readyz"} {
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Fatalf("POST %s: Allow header %q want GET", path, allow)
+		}
+	}
+}
+
+func TestHTTPPredictUnknownUser404(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/predict?uid=999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d want 404", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if got := strings.TrimSpace(string(body)); got != "unknown user 999" {
+		t.Fatalf("404 body %q leaks internals", got)
+	}
+}
+
+func TestHTTPPredictDuringFeatureOutage(t *testing.T) {
+	cs := newChaosStack(t, resilience.FaultConfig{ErrorRate: 1, Seed: 4}, 3)
+	api := NewAPI(cs.pred, cs.bn)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/predict?uid=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("request %d: status %d want 200 during feature outage", i, resp.StatusCode)
+		}
+		var pred Prediction
+		if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !pred.Degraded {
+			t.Fatalf("request %d: not degraded: %+v", i, pred)
+		}
+		switch pred.ServedBy {
+		case TierFallback, TierCache, TierPrior:
+		default:
+			t.Fatalf("request %d: served_by %q", i, pred.ServedBy)
+		}
+	}
+}
+
+func TestHTTPPredictOverloaded429(t *testing.T) {
+	cs := newChaosStack(t, resilience.FaultConfig{Delay: 300 * time.Millisecond, Seed: 6}, 100)
+	cs.pred.Admission = resilience.NewAdmission(1)
+	api := NewAPI(cs.pred, cs.bn)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL + "/predict?uid=1")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for cs.pred.Admission.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never entered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/predict?uid=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429", resp.StatusCode)
+	}
+	<-done
+}
+
+func TestHTTPHealthAndReadiness(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d", resp.StatusCode)
+	}
+	var ready map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready["ready"] != true || ready["model_loaded"] != true {
+		t.Fatalf("readiness %v", ready)
+	}
+	if ready["breaker"] != "closed" {
+		t.Fatalf("breaker state %v want closed", ready["breaker"])
+	}
+	if _, ok := ready["snapshot_epoch"]; !ok {
+		t.Fatal("readiness missing snapshot_epoch")
+	}
+}
+
+func TestHTTPStatsServesSnapshotNotLiveGraph(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	readNodes := func() float64 {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats["nodes"].(float64)
+	}
+
+	before := readNodes()
+	// Registering a transaction adds a node to the live graph only; the
+	// snapshot (and therefore /stats) must not change until Advance
+	// republishes it.
+	resp, err := http.Post(srv.URL+"/transaction?uid=50", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := readNodes(); got != before {
+		t.Fatalf("stats read the live graph: %v nodes before Advance, want %v", got, before)
+	}
+	bnServer.Advance(t0.Add(3 * time.Hour))
+	if got := readNodes(); got != before+1 {
+		t.Fatalf("stats after Advance: %v nodes want %v", got, before+1)
 	}
 }

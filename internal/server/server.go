@@ -4,9 +4,18 @@
 // that samples a computation subgraph, fetches features, and runs the
 // HAG model — all behind an HTTP API. Per-module latencies are recorded
 // for the §V / Fig. 8a response-time study.
+//
+// The audit path is fault tolerant: every stage runs under an optional
+// deadline, feature fetches are retried and guarded by a circuit
+// breaker, and when the full path cannot answer in budget the prediction
+// server walks a degradation ladder — full HAG → feature-only fallback
+// model → cached last-known score or the prior — instead of failing the
+// audit (see internal/resilience).
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +27,8 @@ import (
 	"turbo/internal/gnn"
 	"turbo/internal/graph"
 	"turbo/internal/metrics"
+	"turbo/internal/resilience"
+	"turbo/internal/store"
 	"turbo/internal/tensor"
 )
 
@@ -37,6 +48,11 @@ type BNServer struct {
 	// access takes txnMu.
 	txnMu  sync.RWMutex
 	hasTxn map[behavior.UserID]bool
+
+	// viewWrap, when set, decorates the read view every Sample runs
+	// against. The fault injector uses it to add latency and hangs to
+	// the sampling path. Install with SetViewWrapper before serving.
+	viewWrap func(graph.GraphView) graph.GraphView
 
 	SampleHops      int
 	MaxNeighbors    int
@@ -113,6 +129,11 @@ func (s *BNServer) View(u behavior.UserID) graph.GraphView {
 	return s.g
 }
 
+// SetViewWrapper installs a decorator applied to the read view on the
+// sampling path (nil removes it). Call before serving: installation is
+// not synchronized with in-flight samples.
+func (s *BNServer) SetViewWrapper(w func(graph.GraphView) graph.GraphView) { s.viewWrap = w }
+
 // Store exposes the log store (used by the feature service).
 func (s *BNServer) Store() *behavior.Store { return s.store }
 
@@ -129,7 +150,11 @@ func (s *BNServer) Sample(u behavior.UserID) *graph.Subgraph {
 			s.txnMu.RUnlock()
 			return ok
 		}
-		sg = s.View(u).Sample(graph.NodeID(u), graph.SampleOptions{
+		view := s.View(u)
+		if s.viewWrap != nil {
+			view = s.viewWrap(view)
+		}
+		sg = view.Sample(graph.NodeID(u), graph.SampleOptions{
 			Hops:         s.SampleHops,
 			MaxNeighbors: s.MaxNeighbors,
 			Filter:       filter,
@@ -137,6 +162,49 @@ func (s *BNServer) Sample(u behavior.UserID) *graph.Subgraph {
 	})
 	return sg
 }
+
+// SampleCtx is Sample under a deadline. When ctx cannot expire it runs
+// inline; otherwise sampling runs in a goroutine and SampleCtx returns
+// ctx.Err() as soon as the deadline fires, leaving the (possibly hung)
+// sample to finish in the background — slow graph reads cost the audit
+// its sampling budget, never the whole request.
+func (s *BNServer) SampleCtx(ctx context.Context, u behavior.UserID) (*graph.Subgraph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("server: sampling user %d: %w", u, err)
+	}
+	if ctx.Done() == nil {
+		return s.Sample(u), nil
+	}
+	ch := make(chan *graph.Subgraph, 1)
+	go func() { ch <- s.Sample(u) }()
+	select {
+	case sg := <-ch:
+		return sg, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("server: sampling user %d: %w", u, ctx.Err())
+	}
+}
+
+// Serving tiers of the degradation ladder, reported in
+// Prediction.ServedBy and counted per audit.
+const (
+	// TierFull is the healthy path: HAG over the sampled subgraph.
+	TierFull = "hag"
+	// TierFallback is the feature-only fallback model over the target
+	// user's own vector (sampling or the feature fan-out failed).
+	TierFallback = "fallback"
+	// TierCache is the last-known score of the user (total feature
+	// outage, but the user was scored before).
+	TierCache = "cache"
+	// TierPrior is the configured prior probability (total feature
+	// outage, never-scored user).
+	TierPrior = "prior"
+)
+
+// ErrUnknownUser marks an audit of a user the feature store has no
+// profile for; the HTTP layer maps it to 404. Degraded tiers are not
+// consulted: no tier can say anything about a user that does not exist.
+var ErrUnknownUser = errors.New("server: unknown user")
 
 // Prediction is the result of one audit request.
 type Prediction struct {
@@ -146,19 +214,44 @@ type Prediction struct {
 	SubgraphNodes int             `json:"subgraph_nodes"`
 	SubgraphEdges int             `json:"subgraph_edges"`
 
+	// ServedBy names the degradation-ladder tier that produced the
+	// score; Degraded is true for every tier below TierFull.
+	ServedBy string `json:"served_by"`
+	Degraded bool   `json:"degraded"`
+
 	SampleLatency  time.Duration `json:"sample_latency_ns"`
 	FeatureLatency time.Duration `json:"feature_latency_ns"`
 	PredictLatency time.Duration `json:"predict_latency_ns"`
 	TotalLatency   time.Duration `json:"total_latency_ns"`
 }
 
+// StageDeadlines bounds each stage of the audit path. Zero fields mean
+// no deadline for that stage; Total additionally caps the whole audit.
+type StageDeadlines struct {
+	Sample  time.Duration
+	Feature time.Duration
+	Score   time.Duration
+	Total   time.Duration
+}
+
+// Fallback is the feature-only model of the degradation ladder: a
+// baselines.Classifier-style scorer over normalized feature rows (LR or
+// GBDT trained offline alongside HAG).
+type Fallback interface {
+	PredictProba(x *tensor.Matrix) []float64
+}
+
 // PredictionServer runs the classification model over sampled subgraphs
 // with features from the feature service. The model is hot-swappable by
 // the ModelManager; swaps never block in-flight audits for long.
+//
+// The exported resilience knobs (Breaker, Retry, Admission, Deadlines,
+// Fallback, Prior) are read on every audit; configure them before
+// serving.
 type PredictionServer struct {
 	bn    *BNServer
-	feats *feature.Service
 	mu    sync.RWMutex
+	feats feature.Source
 	model gnn.Model
 	// Normalizer maps raw feature vectors to model inputs (z-scoring
 	// fitted at training time). Nil means identity. Set it via SwapModel
@@ -166,18 +259,50 @@ type PredictionServer struct {
 	Normalizer func([]float64) []float64
 	Threshold  float64
 
+	// Breaker guards the feature service: after FailureThreshold
+	// consecutive failures the fan-out fails fast until the cool-down
+	// elapses. Nil disables breaking.
+	Breaker *resilience.Breaker
+	// Retry bounds per-vector retries for transient feature errors.
+	Retry resilience.RetryConfig
+	// Admission caps concurrent audits; excess load is shed with
+	// resilience.ErrOverloaded (HTTP 429). Nil means unbounded.
+	Admission *resilience.Admission
+	// Deadlines are the per-stage audit budgets.
+	Deadlines StageDeadlines
+	// Fallback is the feature-only tier-2 model; nil skips that tier.
+	Fallback Fallback
+	// Prior is the tier-3 score for users with no cached score (the base
+	// fraud rate). NewPredictionServer sets 0.05.
+	Prior float64
+
+	// Served counts audits by serving tier, plus "degraded", "shed" and
+	// "unknown" outcomes.
+	Served *metrics.CounterSet
+
+	lastMu sync.RWMutex
+	last   map[behavior.UserID]float64 // last-known scores (tier 3)
+
 	FeatureLatency *metrics.LatencyRecorder
 	PredictLatency *metrics.LatencyRecorder
 	TotalLatency   *metrics.LatencyRecorder
 }
 
-// NewPredictionServer wires the three online modules together.
-func NewPredictionServer(bnServer *BNServer, feats *feature.Service, model gnn.Model, threshold float64) *PredictionServer {
+// NewPredictionServer wires the three online modules together with the
+// default resilience posture: retries on, breaker on with defaults, no
+// admission cap, no deadlines, no fallback model. With a healthy feature
+// service the audit path is identical to the resilience-free pipeline.
+func NewPredictionServer(bnServer *BNServer, feats feature.Source, model gnn.Model, threshold float64) *PredictionServer {
 	return &PredictionServer{
 		bn:             bnServer,
 		feats:          feats,
 		model:          model,
 		Threshold:      threshold,
+		Breaker:        resilience.NewBreaker(resilience.BreakerConfig{}),
+		Retry:          resilience.RetryConfig{Attempts: 2, BaseDelay: 5 * time.Millisecond},
+		Prior:          0.05,
+		Served:         metrics.NewCounterSet(),
+		last:           make(map[behavior.UserID]float64),
 		FeatureLatency: metrics.NewLatencyRecorder(),
 		PredictLatency: metrics.NewLatencyRecorder(),
 		TotalLatency:   metrics.NewLatencyRecorder(),
@@ -193,25 +318,175 @@ func (p *PredictionServer) SwapModel(m gnn.Model, normalizer func([]float64) []f
 	p.mu.Unlock()
 }
 
-// Predict serves one audit request end to end: subgraph sampling (BN
-// server), feature retrieval (feature module), HAG inference (prediction
-// server), mirroring the numbered flow of Fig. 2.
-func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction, error) {
+// SetFeatureSource replaces the feature source (the fault injector wraps
+// the real service through this).
+func (p *PredictionServer) SetFeatureSource(src feature.Source) {
+	p.mu.Lock()
+	p.feats = src
+	p.mu.Unlock()
+}
+
+// ModelLoaded reports whether a serving model is attached (readiness).
+func (p *PredictionServer) ModelLoaded() bool {
 	p.mu.RLock()
-	model, normalizer := p.model, p.Normalizer
+	defer p.mu.RUnlock()
+	return p.model != nil
+}
+
+// BreakerState names the breaker state for /readyz and /stats
+// ("disabled" when no breaker is configured).
+func (p *PredictionServer) BreakerState() string {
+	if p.Breaker == nil {
+		return "disabled"
+	}
+	return p.Breaker.State().String()
+}
+
+// ServedCounts returns the per-tier audit counters.
+func (p *PredictionServer) ServedCounts() map[string]int64 { return p.Served.Snapshot() }
+
+// Predict serves one audit request with no caller deadline.
+func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction, error) {
+	return p.PredictCtx(context.Background(), u, at)
+}
+
+// PredictCtx serves one audit request end to end: subgraph sampling (BN
+// server), feature retrieval (feature module), HAG inference (prediction
+// server), mirroring the numbered flow of Fig. 2. Under partial failure
+// it degrades tier by tier instead of erroring:
+//
+//	tier 1 (TierFull):     HAG over the sampled subgraph
+//	tier 2 (TierFallback): feature-only model over the target's vector,
+//	                       when sampling or the feature fan-out timed
+//	                       out, errored, or hit an open breaker
+//	tier 3 (TierCache /    the user's last-known score, or the prior —
+//	        TierPrior):    total feature outage
+//
+// Only two conditions surface as errors: ErrUnknownUser (no profile
+// exists for u) and resilience.ErrOverloaded (admission shed the audit).
+func (p *PredictionServer) PredictCtx(ctx context.Context, u behavior.UserID, at time.Time) (Prediction, error) {
+	if p.Admission != nil {
+		if !p.Admission.TryAcquire() {
+			p.Served.Inc("shed")
+			return Prediction{}, fmt.Errorf("server: audit of user %d: %w", u, resilience.ErrOverloaded)
+		}
+		defer p.Admission.Release()
+	}
+	if p.Deadlines.Total > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadlines.Total)
+		defer cancel()
+	}
+	p.mu.RLock()
+	feats, model, normalizer := p.feats, p.model, p.Normalizer
 	p.mu.RUnlock()
+
 	start := time.Now()
-	sg := p.bn.Sample(u)
+	pred, err := p.predictFull(ctx, feats, model, normalizer, u, at)
+	if err == nil {
+		p.finish(&pred, u, start, true)
+		return pred, nil
+	}
+	if errors.Is(err, ErrUnknownUser) {
+		p.Served.Inc("unknown")
+		return Prediction{}, err
+	}
+
+	pred, ferr := p.predictFallback(ctx, feats, normalizer, u, at)
+	if ferr == nil {
+		p.finish(&pred, u, start, true)
+		return pred, nil
+	}
+	if errors.Is(ferr, ErrUnknownUser) {
+		p.Served.Inc("unknown")
+		return Prediction{}, ferr
+	}
+
+	pred = p.predictStatic(u)
+	p.finish(&pred, u, start, false)
+	return pred, nil
+}
+
+// finish stamps the end-to-end latency, bumps the tier counters and,
+// for genuinely computed scores, remembers the result for tier 3.
+func (p *PredictionServer) finish(pred *Prediction, u behavior.UserID, start time.Time, remember bool) {
+	pred.TotalLatency = time.Since(start)
+	p.TotalLatency.Record(pred.TotalLatency)
+	p.Served.Inc(pred.ServedBy)
+	if pred.Degraded {
+		p.Served.Inc("degraded")
+	}
+	if remember {
+		p.lastMu.Lock()
+		p.last[u] = pred.Probability
+		p.lastMu.Unlock()
+	}
+}
+
+// fetchVector retrieves one user's feature vector through the breaker
+// and the retry policy. A missing profile is a definitive answer, not a
+// dependency failure: it is never retried and never trips the breaker.
+func (p *PredictionServer) fetchVector(ctx context.Context, feats feature.Source, u behavior.UserID, at time.Time) ([]float64, error) {
+	if p.Breaker != nil {
+		if err := p.Breaker.Allow(); err != nil {
+			return nil, err
+		}
+	}
+	var vec []float64
+	err := resilience.Retry(ctx, p.Retry, func(ctx context.Context) error {
+		v, verr := feats.VectorCtx(ctx, u, at)
+		if verr != nil {
+			if errors.Is(verr, store.ErrNotFound) {
+				return resilience.Permanent(verr)
+			}
+			return verr
+		}
+		vec = v
+		return nil
+	})
+	if p.Breaker != nil {
+		p.Breaker.Record(err == nil || errors.Is(err, store.ErrNotFound))
+	}
+	return vec, err
+}
+
+// predictFull is tier 1: sample the computation subgraph, fan out the
+// feature fetches, run the HAG model. Each stage honors its deadline.
+func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source, model gnn.Model, normalizer func([]float64) []float64, u behavior.UserID, at time.Time) (Prediction, error) {
+	if model == nil {
+		return Prediction{}, fmt.Errorf("server: no model attached")
+	}
+	start := time.Now()
+	sctx := ctx
+	if p.Deadlines.Sample > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, p.Deadlines.Sample)
+		defer cancel()
+	}
+	sg, err := p.bn.SampleCtx(sctx, u)
+	if err != nil {
+		return Prediction{}, err
+	}
 	sampleDone := time.Now()
 
+	fctx := ctx
+	if p.Deadlines.Feature > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, p.Deadlines.Feature)
+		defer cancel()
+	}
 	n := sg.NumNodes()
 	var x *tensor.Matrix
 	var ferr error
 	p.FeatureLatency.Time(func() {
 		for i, node := range sg.Nodes {
-			vec, err := p.feats.Vector(behavior.UserID(node), at)
-			if err != nil {
-				ferr = fmt.Errorf("server: features for node %d: %w", node, err)
+			vec, verr := p.fetchVector(fctx, feats, behavior.UserID(node), at)
+			if verr != nil {
+				if behavior.UserID(node) == u && errors.Is(verr, store.ErrNotFound) {
+					ferr = fmt.Errorf("%w %d: %v", ErrUnknownUser, u, verr)
+				} else {
+					ferr = fmt.Errorf("server: features for node %d: %w", node, verr)
+				}
 				return
 			}
 			if normalizer != nil {
@@ -229,12 +504,21 @@ func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction,
 	featDone := time.Now()
 
 	var prob float64
+	var serr error
 	p.PredictLatency.Time(func() {
+		scx := ctx
+		if p.Deadlines.Score > 0 {
+			var cancel context.CancelFunc
+			scx, cancel = context.WithTimeout(ctx, p.Deadlines.Score)
+			defer cancel()
+		}
 		batch := gnn.NewBatch(sg, x)
-		prob = gnn.Score(model, batch)
+		prob, serr = gnn.ScoreCtx(scx, model, batch)
 	})
+	if serr != nil {
+		return Prediction{}, serr
+	}
 	end := time.Now()
-	p.TotalLatency.Record(end.Sub(start))
 
 	return Prediction{
 		User:           u,
@@ -242,11 +526,70 @@ func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction,
 		Fraud:          prob >= p.Threshold,
 		SubgraphNodes:  n,
 		SubgraphEdges:  sg.NumEdges(),
+		ServedBy:       TierFull,
 		SampleLatency:  sampleDone.Sub(start),
 		FeatureLatency: featDone.Sub(sampleDone),
 		PredictLatency: end.Sub(featDone),
-		TotalLatency:   end.Sub(start),
 	}, nil
+}
+
+// predictFallback is tier 2: the feature-only fallback model over the
+// target user's own vector, with a fresh feature-stage budget.
+func (p *PredictionServer) predictFallback(ctx context.Context, feats feature.Source, normalizer func([]float64) []float64, u behavior.UserID, at time.Time) (Prediction, error) {
+	fb := p.Fallback
+	if fb == nil {
+		return Prediction{}, fmt.Errorf("server: no fallback model")
+	}
+	fctx := ctx
+	if p.Deadlines.Feature > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, p.Deadlines.Feature)
+		defer cancel()
+	}
+	fstart := time.Now()
+	vec, err := p.fetchVector(fctx, feats, u, at)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return Prediction{}, fmt.Errorf("%w %d: %v", ErrUnknownUser, u, err)
+		}
+		return Prediction{}, fmt.Errorf("server: fallback features for user %d: %w", u, err)
+	}
+	featDone := time.Now()
+	if normalizer != nil {
+		vec = normalizer(vec)
+	}
+	x := tensor.New(1, len(vec))
+	copy(x.Row(0), vec)
+	prob := fb.PredictProba(x)[0]
+	return Prediction{
+		User:           u,
+		Probability:    prob,
+		Fraud:          prob >= p.Threshold,
+		ServedBy:       TierFallback,
+		Degraded:       true,
+		FeatureLatency: featDone.Sub(fstart),
+		PredictLatency: time.Since(featDone),
+	}, nil
+}
+
+// predictStatic is tier 3: no dependency is consulted at all. It serves
+// the user's last-known score when one exists, otherwise the prior.
+func (p *PredictionServer) predictStatic(u behavior.UserID) Prediction {
+	p.lastMu.RLock()
+	score, ok := p.last[u]
+	p.lastMu.RUnlock()
+	tier := TierCache
+	if !ok {
+		score = p.Prior
+		tier = TierPrior
+	}
+	return Prediction{
+		User:        u,
+		Probability: score,
+		Fraud:       score >= p.Threshold,
+		ServedBy:    tier,
+		Degraded:    true,
+	}
 }
 
 // LatencySummaries returns the §V digests of the three online modules

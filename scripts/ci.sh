@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: build, vet, race-test the concurrent packages (graph shards,
-# BN construction, online serving — including the concurrent
-# ingest+predict stress tests), then the full tier-1 suite.
+# CI gate: formatting, build, vet, race-test the concurrent packages
+# (graph shards, BN construction, online serving — including the
+# concurrent ingest+predict stress tests and the resilience/chaos
+# suites), then the full tier-1 suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build"
 go build ./...
@@ -11,8 +20,8 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / server)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/server/...
+echo "== go test -race (graph / bn / resilience / server incl. chaos)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/...
 
 echo "== go test (full tier-1)"
 go test ./...
