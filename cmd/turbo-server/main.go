@@ -28,7 +28,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,7 +74,18 @@ func main() {
 	faultSampleDelay := flag.Duration("fault.sample-delay", 0, "injected latency per subgraph sample")
 	faultSampleDelayRate := flag.Float64("fault.sample-delay-rate", 0, "probability of the injected sample delay (0 with a delay set = always)")
 	faultSeed := flag.Uint64("fault.seed", 1, "fault-injection RNG seed (deterministic fault sequences)")
+
+	// Telemetry.
+	debugAddr := flag.String("debug.addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+	telBuckets := flag.String("telemetry.buckets", "", "comma-separated latency histogram bucket bounds in seconds (empty = defaults)")
+	traceRingSize := flag.Int("telemetry.trace-ring", 256, "completed-trace ring size behind /debug/traces")
+	slowThreshold := flag.Duration("telemetry.slow-threshold", 500*time.Millisecond, "log the span breakdown of audits at least this slow (0 = off)")
 	flag.Parse()
+
+	buckets, err := parseBuckets(*telBuckets)
+	if err != nil {
+		log.Fatalf("-telemetry.buckets: %v", err)
+	}
 
 	var cfg datagen.Config
 	switch *preset {
@@ -107,7 +121,15 @@ func main() {
 	fallback.Fit(fbX, fbY)
 	log.Printf("trained LR fallback on %d rows", fbX.Rows)
 
-	sys, err := core.New(core.Config{Threshold: *threshold}, a.Data.Start)
+	sys, err := core.New(core.Config{
+		Threshold: *threshold,
+		Telemetry: server.TelemetryOptions{
+			Buckets:       buckets,
+			TraceRingSize: *traceRingSize,
+			SlowThreshold: *slowThreshold,
+			Logger:        log.Default(),
+		},
+	}, a.Data.Start)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,11 +145,13 @@ func main() {
 	log.Printf("live BN: %d nodes, %d edges", sys.BNServer().Graph().NumNodes(), sys.BNServer().Graph().NumEdges())
 
 	pred := sys.PredictionServer()
+	tel := sys.Telemetry()
 	pred.Fallback = fallback
 	pred.Admission = resilience.NewAdmission(*maxInFlight)
 	pred.Breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		FailureThreshold: *breakerThreshold,
 		CoolDown:         *breakerCoolDown,
+		OnStateChange:    tel.BreakerHook(),
 	})
 	pred.Retry = resilience.RetryConfig{Attempts: *retryAttempts, BaseDelay: 5 * time.Millisecond, Seed: *faultSeed}
 	pred.Deadlines = server.StageDeadlines{
@@ -145,6 +169,7 @@ func main() {
 			Hang:      *faultHang,
 			Seed:      *faultSeed,
 		})
+		tel.WireInjector(inj)
 		pred.SetFeatureSource(resilience.InjectFeatures(sys.Features(), inj))
 		log.Printf("CHAOS: feature faults on (err=%.2f delay=%v hang=%.2f seed=%d)",
 			*faultErrRate, *faultDelay, *faultHangRate, *faultSeed)
@@ -155,6 +180,7 @@ func main() {
 			DelayRate: *faultSampleDelayRate,
 			Seed:      *faultSeed,
 		})
+		tel.WireInjector(inj)
 		sys.BNServer().SetViewWrapper(func(v graph.GraphView) graph.GraphView {
 			return resilience.InjectView(v, inj)
 		})
@@ -178,12 +204,29 @@ func main() {
 		}
 	}()
 
+	// Optional pprof endpoint on its own listener, so profiling traffic
+	// never rides the audit port.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
 	api := sys.API()
 	api.ErrorLog = log.Default()
 	srv := &http.Server{Addr: *addr, Handler: api}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving on %s — try /predict?uid=0, /stats, /latency, /readyz\n", *addr)
+	fmt.Printf("serving on %s — try /predict?uid=0, /stats, /latency, /metrics, /debug/traces\n", *addr)
 
 	select {
 	case err := <-errc:
@@ -200,4 +243,24 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	log.Printf("drained; bye")
+}
+
+// parseBuckets parses "0.001,0.01,0.1" into ascending bucket bounds.
+func parseBuckets(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %v", p, err)
+		}
+		if len(out) > 0 && v <= out[len(out)-1] {
+			return nil, fmt.Errorf("bounds must be strictly ascending: %v after %v", v, out[len(out)-1])
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

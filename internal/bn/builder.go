@@ -11,6 +11,7 @@ package bn
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"turbo/internal/behavior"
@@ -87,6 +88,33 @@ type Builder struct {
 	// nextEpoch[i] is the start of the next unprocessed epoch of window i.
 	nextEpoch []time.Time
 	origin    time.Time
+
+	// Cumulative construction totals, readable concurrently with Advance
+	// (the BN server mirrors deltas into telemetry counters).
+	jobs        atomic.Int64
+	edgeUpdates atomic.Int64
+	pruned      atomic.Int64
+}
+
+// BuildStats are the builder's cumulative construction totals.
+type BuildStats struct {
+	// Jobs is the number of window epoch jobs executed by Advance.
+	Jobs int64
+	// EdgeUpdates counts edge-weight contributions written to the graph
+	// (one per pair per co-occurrence group per window epoch).
+	EdgeUpdates int64
+	// Pruned counts undirected edges dropped by TTL pruning.
+	Pruned int64
+}
+
+// Stats returns the cumulative construction totals. Safe to call
+// concurrently with Advance.
+func (b *Builder) Stats() BuildStats {
+	return BuildStats{
+		Jobs:        b.jobs.Load(),
+		EdgeUpdates: b.edgeUpdates.Load(),
+		Pruned:      b.pruned.Load(),
+	}
 }
 
 // NewBuilder creates a builder writing into g; t0 anchors the epoch grid
@@ -135,6 +163,7 @@ func (b *Builder) ProcessEpoch(w time.Duration, start time.Time) {
 				_ = b.g.AddEdgeWeight(t, graph.NodeID(users[i]), graph.NodeID(users[j]), weight, expire)
 			}
 		}
+		b.edgeUpdates.Add(int64(n * (n - 1) / 2))
 	})
 }
 
@@ -151,7 +180,8 @@ func (b *Builder) Advance(now time.Time) int {
 			jobs++
 		}
 	}
-	b.g.Prune(now)
+	b.jobs.Add(int64(jobs))
+	b.pruned.Add(int64(b.g.Prune(now)))
 	return jobs
 }
 

@@ -29,6 +29,10 @@ type Config struct {
 	// SampleHops / MaxNeighbors control computation-subgraph sampling.
 	SampleHops   int
 	MaxNeighbors int
+	// Telemetry configures the observability layer (histogram buckets,
+	// trace ring, slow-audit logging). The zero value selects defaults —
+	// telemetry is always on, it costs one atomic op per observation.
+	Telemetry server.TelemetryOptions
 }
 
 // System is a running Turbo instance.
@@ -56,6 +60,7 @@ func New(cfg Config, t0 time.Time) (*System, error) {
 		bnServer.MaxNeighbors = cfg.MaxNeighbors
 	}
 	feats := feature.NewService(cfg.Feature, bnServer.Store())
+	bnServer.SetTelemetry(server.NewTelemetry(cfg.Telemetry))
 	return &System{cfg: cfg, bn: bnServer, feats: feats}, nil
 }
 
@@ -120,6 +125,10 @@ func (s *System) Features() *feature.Service { return s.feats }
 
 // PredictionServer exposes the prediction server (latency digests).
 func (s *System) PredictionServer() *server.PredictionServer { return s.pred }
+
+// Telemetry exposes the observability layer: the metrics registry behind
+// GET /metrics and the audit tracer behind GET /debug/traces.
+func (s *System) Telemetry() *server.Telemetry { return s.bn.Telemetry() }
 
 // StartRetraining launches the model management module (Fig. 2): train
 // is invoked every interval and the resulting model is hot-swapped into

@@ -228,6 +228,37 @@ func (g *Graph) EdgeWeight(t EdgeType, u, v NodeID) float64 {
 // NumNodes returns the number of registered nodes.
 func (g *Graph) NumNodes() int { return int(g.nodeCount.Load()) }
 
+// ShardSizes returns the registered-node count of every shard — the
+// telemetry hook behind the shard-skew gauge (a hot shard means one
+// NodeID range is absorbing most writes). Each shard is read-locked
+// individually, so the scan never blocks writers globally.
+func (g *Graph) ShardSizes() []int {
+	out := make([]int, len(g.shards))
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+		out[i] = len(g.shards[i].nodes)
+		g.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// ShardSkew returns max/mean of the per-shard node counts (1 = perfectly
+// balanced, 0 = empty graph).
+func (g *Graph) ShardSkew() float64 {
+	sizes := g.ShardSizes()
+	total, max := 0, 0
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(sizes)) / float64(total)
+}
+
 // NumEdges returns the number of distinct typed undirected edges.
 func (g *Graph) NumEdges() int { return int(g.edgeCount.Load()) }
 

@@ -1,44 +1,46 @@
 package metrics
 
-import "sync"
+import "turbo/internal/telemetry"
 
 // CounterSet is a small named-counter group used by the online stack to
 // count served-by tiers, shed requests and degraded audits. Safe for
 // concurrent use.
+//
+// It is a thin compatibility shim over a telemetry.CounterVec: existing
+// call sites keep compiling, while the underlying cells are plain atomic
+// counters that can be shared with a telemetry.Registry (see
+// NewCounterSetVec) so the same counts appear on /metrics. Inc pays one
+// read-locked map resolve; hot paths that care should cache the
+// telemetry handle instead.
 type CounterSet struct {
-	mu     sync.RWMutex
-	counts map[string]int64
+	vec *telemetry.CounterVec
 }
 
-// NewCounterSet returns an empty counter set.
+// NewCounterSet returns an empty, unregistered counter set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{counts: make(map[string]int64)}
+	return NewCounterSetVec(telemetry.NewCounterVec("name"))
+}
+
+// NewCounterSetVec wraps an existing single-label counter vec — the
+// bridge that lets a registry-exposed family back a legacy CounterSet.
+func NewCounterSetVec(vec *telemetry.CounterVec) *CounterSet {
+	return &CounterSet{vec: vec}
 }
 
 // Inc adds 1 to the named counter.
-func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+func (c *CounterSet) Inc(name string) { c.vec.With(name).Inc() }
 
 // Add adds n to the named counter.
-func (c *CounterSet) Add(name string, n int64) {
-	c.mu.Lock()
-	c.counts[name] += n
-	c.mu.Unlock()
-}
+func (c *CounterSet) Add(name string, n int64) { c.vec.With(name).Add(n) }
 
 // Get returns the named counter (0 when never incremented).
-func (c *CounterSet) Get(name string) int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.counts[name]
-}
+func (c *CounterSet) Get(name string) int64 { return c.vec.With(name).Value() }
 
 // Snapshot returns a copy of every counter.
 func (c *CounterSet) Snapshot() map[string]int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make(map[string]int64, len(c.counts))
-	for k, v := range c.counts {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	c.vec.Walk(func(values []string, cnt *telemetry.Counter) {
+		out[values[0]] = cnt.Value()
+	})
 	return out
 }

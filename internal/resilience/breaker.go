@@ -65,6 +65,11 @@ type BreakerConfig struct {
 	// Clock overrides the time source (tests drive cool-down with a fake
 	// clock). Nil selects time.Now.
 	Clock func() time.Time
+	// OnStateChange, when set, is invoked on every state transition
+	// (telemetry counts transitions and mirrors the state into a gauge).
+	// It runs with the breaker's lock held and must not call back into
+	// the breaker.
+	OnStateChange func(from, to BreakerState)
 }
 
 func (c *BreakerConfig) defaults() {
@@ -118,7 +123,7 @@ func (b *Breaker) Allow() error {
 		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.CoolDown {
 			return ErrBreakerOpen
 		}
-		b.state = StateHalfOpen
+		b.setState(StateHalfOpen)
 		b.successes = 0
 		b.inFlight = 1
 		return nil
@@ -155,7 +160,7 @@ func (b *Breaker) Record(ok bool) {
 		}
 		b.successes++
 		if b.successes >= b.cfg.SuccessesToClose {
-			b.state = StateClosed
+			b.setState(StateClosed)
 			b.failures = 0
 		}
 	default:
@@ -166,12 +171,24 @@ func (b *Breaker) Record(ok bool) {
 
 // trip moves to open. Callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = StateOpen
+	b.setState(StateOpen)
 	b.openedAt = b.cfg.Clock()
 	b.failures = 0
 	b.successes = 0
 	b.inFlight = 0
 	b.trips++
+}
+
+// setState transitions to s, firing OnStateChange. Callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	from := b.state
+	b.state = s
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, s)
+	}
 }
 
 // State returns the current state.

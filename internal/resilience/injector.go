@@ -11,6 +11,7 @@ import (
 	"turbo/internal/behavior"
 	"turbo/internal/feature"
 	"turbo/internal/graph"
+	"turbo/internal/telemetry"
 )
 
 // ErrInjected is the error produced by fault injection, distinguishable
@@ -43,6 +44,19 @@ type Injector struct {
 	rng *rand.Rand
 
 	errs, delays, hangs atomic.Int64
+
+	// Registry counters mirroring the local atomics (SetCounters); nil
+	// entries are skipped.
+	cErrs, cDelays, cHangs *telemetry.Counter
+}
+
+// SetCounters mirrors injected errors/delays/hangs into registry-backed
+// counters (turbo_faults_injected_total{kind}). Call before serving;
+// nil counters are ignored.
+func (i *Injector) SetCounters(errs, delays, hangs *telemetry.Counter) {
+	i.mu.Lock()
+	i.cErrs, i.cDelays, i.cHangs = errs, delays, hangs
+	i.mu.Unlock()
 }
 
 // NewInjector builds an injector for cfg.
@@ -83,21 +97,35 @@ func (i *Injector) Fault(ctx context.Context) error {
 	rHang := i.rng.Float64()
 	rDelay := i.rng.Float64()
 	rErr := i.rng.Float64()
+	cErrs, cDelays, cHangs := i.cErrs, i.cDelays, i.cHangs
 	i.mu.Unlock()
+	trace := telemetry.TraceFrom(ctx)
 	if cfg.HangRate > 0 && rHang < cfg.HangRate {
 		i.hangs.Add(1)
+		if cHangs != nil {
+			cHangs.Inc()
+		}
+		trace.AddFault("hang")
 		if err := sleepCtx(ctx, cfg.Hang); err != nil {
 			return err
 		}
 	}
 	if cfg.Delay > 0 && rDelay < cfg.DelayRate {
 		i.delays.Add(1)
+		if cDelays != nil {
+			cDelays.Inc()
+		}
+		trace.AddFault("delay")
 		if err := sleepCtx(ctx, cfg.Delay); err != nil {
 			return err
 		}
 	}
 	if cfg.ErrorRate > 0 && rErr < cfg.ErrorRate {
 		i.errs.Add(1)
+		if cErrs != nil {
+			cErrs.Inc()
+		}
+		trace.AddFault("error")
 		return ErrInjected
 	}
 	return nil

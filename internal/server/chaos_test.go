@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -60,11 +62,13 @@ func newChaosStack(t *testing.T, faults resilience.FaultConfig, threshold int) *
 	bnServer, pred := newTestStack(t)
 	clock := newFakeClock()
 	inj := resilience.NewInjector(faults)
+	pred.Tel.WireInjector(inj)
 	pred.SetFeatureSource(resilience.InjectFeatures(featureSource(pred), inj))
 	pred.Breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		FailureThreshold: threshold,
 		CoolDown:         time.Minute,
 		Clock:            clock.Now,
+		OnStateChange:    pred.Tel.BreakerHook(),
 	})
 	pred.Retry = resilience.RetryConfig{Attempts: 1} // one feature call per fetch: failure counting stays exact
 	pred.Fallback = constFallback(0.9)
@@ -169,6 +173,19 @@ func TestChaosTotalFeatureOutage(t *testing.T) {
 	}
 	if p.ServedBy != TierCache {
 		t.Fatalf("warm user served by %q, want %q", p.ServedBy, TierCache)
+	}
+
+	// The faults were genuinely injected — not silently skipped by an
+	// open breaker or a mis-wired injector: the injector's own counters
+	// moved, and the registry mirror agrees exactly.
+	errsInjected, _, _ := cs.inj.Counts()
+	if errsInjected < 3 {
+		t.Fatalf("injected errors %d, want >= breaker threshold 3", errsInjected)
+	}
+	exposition := scrapeMetrics(t, cs.pred.Tel)
+	wantLine := fmt.Sprintf("turbo_faults_injected_total{kind=%q} %d", "error", errsInjected)
+	if !strings.Contains(exposition, wantLine) {
+		t.Fatalf("registry fault counter does not match injector: want line %q in:\n%s", wantLine, exposition)
 	}
 
 	// The breaker opened after the threshold…

@@ -21,6 +21,8 @@ import (
 //	GET  /predict?uid=1     runs one audit request
 //	GET  /latency           returns the §V latency digests
 //	GET  /stats             returns BN size statistics (current snapshot)
+//	GET  /metrics           Prometheus text exposition of the registry
+//	GET  /debug/traces?n=K  last K completed audit traces, newest first
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness: snapshot, model, breaker state
 //
@@ -45,6 +47,8 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/latency", requireGET(a.handleLatency))
 	a.mux.HandleFunc("/stats", requireGET(a.handleStats))
 	a.mux.HandleFunc("/subgraph", requireGET(a.handleSubgraph))
+	a.mux.HandleFunc("/metrics", requireGET(a.handleMetrics))
+	a.mux.HandleFunc("/debug/traces", requireGET(a.handleTraces))
 	a.mux.HandleFunc("/healthz", requireGET(a.handleHealthz))
 	a.mux.HandleFunc("/readyz", requireGET(a.handleReadyz))
 	return a
@@ -131,24 +135,70 @@ func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleLatency(w http.ResponseWriter, r *http.Request) {
+	// Each digest carries both the human-readable duration string and the
+	// raw nanosecond value, so dashboards don't have to parse "1.2ms".
 	type digest struct {
-		Count int    `json:"count"`
-		Mean  string `json:"mean"`
-		P50   string `json:"p50"`
-		P99   string `json:"p99"`
-		P999  string `json:"p999"`
+		Count  int    `json:"count"`
+		Mean   string `json:"mean"`
+		MeanNs int64  `json:"mean_ns"`
+		P50    string `json:"p50"`
+		P50Ns  int64  `json:"p50_ns"`
+		P99    string `json:"p99"`
+		P99Ns  int64  `json:"p99_ns"`
+		P999   string `json:"p999"`
+		P999Ns int64  `json:"p999_ns"`
 	}
 	out := make(map[string]digest)
 	for name, s := range a.Pred.LatencySummaries() {
 		out[name] = digest{
-			Count: s.Count,
-			Mean:  s.Mean.String(),
-			P50:   s.P50.String(),
-			P99:   s.P99.String(),
-			P999:  s.P999.String(),
+			Count:  s.Count,
+			Mean:   s.Mean.String(),
+			MeanNs: int64(s.Mean),
+			P50:    s.P50.String(),
+			P50Ns:  int64(s.P50),
+			P99:    s.P99.String(),
+			P99Ns:  int64(s.P99),
+			P999:   s.P999.String(),
+			P999Ns: int64(s.P999),
 		}
 	}
 	writeJSON(w, out)
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text format.
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	tel := a.Pred.Tel
+	if tel == nil {
+		http.Error(w, "telemetry not configured", http.StatusNotFound)
+		return
+	}
+	tel.Registry.Handler().ServeHTTP(w, r)
+}
+
+// handleTraces serves the last n completed audit traces, newest first.
+// n defaults to 20 and is bounded by the ring size.
+func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tel := a.Pred.Tel
+	if tel == nil || tel.Tracer.Ring() == nil {
+		http.Error(w, "tracing not configured", http.StatusNotFound)
+		return
+	}
+	n := 20
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, fmt.Sprintf("bad n %q: want a positive integer", s), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	ring := tel.Tracer.Ring()
+	traces := ring.Last(n) // clamped to ring size; never unbounded
+	writeJSON(w, map[string]any{
+		"ring_size": ring.Size(),
+		"returned":  len(traces),
+		"traces":    traces,
+	})
 }
 
 // handleStats serves node/edge counts from the current snapshot — the

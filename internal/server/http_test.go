@@ -221,7 +221,7 @@ func TestHTTPMethodEnforcement(t *testing.T) {
 	srv := httptest.NewServer(api)
 	defer srv.Close()
 
-	for _, path := range []string{"/predict?uid=1", "/latency", "/stats", "/subgraph?uid=1", "/healthz", "/readyz"} {
+	for _, path := range []string{"/predict?uid=1", "/latency", "/stats", "/subgraph?uid=1", "/metrics", "/debug/traces", "/healthz", "/readyz"} {
 		resp, err := http.Post(srv.URL+path, "application/json", nil)
 		if err != nil {
 			t.Fatal(err)

@@ -29,6 +29,7 @@ import (
 	"turbo/internal/metrics"
 	"turbo/internal/resilience"
 	"turbo/internal/store"
+	"turbo/internal/telemetry"
 	"turbo/internal/tensor"
 )
 
@@ -54,6 +55,15 @@ type BNServer struct {
 	// the sampling path. Install with SetViewWrapper before serving.
 	viewWrap func(graph.GraphView) graph.GraphView
 
+	// tel, when set, receives ingest/advance pipeline metrics. Install
+	// with SetTelemetry before serving. snapPublished is the wall-clock
+	// publish time of the current snapshot (unix nanos) feeding the
+	// snapshot-age gauge. lastStats (guarded by mu) tracks the builder
+	// totals already mirrored into telemetry counters.
+	tel           *Telemetry
+	snapPublished atomic.Int64
+	lastStats     bn.BuildStats
+
 	SampleHops      int
 	MaxNeighbors    int
 	SamplingLatency *metrics.LatencyRecorder
@@ -77,19 +87,43 @@ func NewBNServer(cfg bn.Config, t0 time.Time) (*BNServer, error) {
 		SamplingLatency: metrics.NewLatencyRecorder(),
 	}
 	s.snap.Store(g.Snapshot())
+	s.snapPublished.Store(time.Now().UnixNano())
 	return s, nil
 }
+
+// SetTelemetry installs the shared telemetry layer and registers the
+// scrape-time BN gauges (snapshot age, shard skew). Call before serving;
+// installation is not synchronized with in-flight requests.
+func (s *BNServer) SetTelemetry(tel *Telemetry) {
+	s.tel = tel
+	tel.RegisterBNGauges(
+		func() float64 {
+			ns := s.snapPublished.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		},
+		s.g.ShardSkew,
+	)
+}
+
+// Telemetry returns the installed telemetry layer (nil before
+// SetTelemetry).
+func (s *BNServer) Telemetry() *Telemetry { return s.tel }
 
 // Ingest stores one behavior log. Edges materialize when the scheduled
 // window jobs run (Advance), in parallel to prediction requests, so log
 // ingestion never sits on the prediction path.
 func (s *BNServer) Ingest(l behavior.Log) {
 	s.store.Append(l)
+	s.tel.IngestedLogs(1)
 }
 
 // IngestBatch bulk-loads logs (e.g. a historical backfill).
 func (s *BNServer) IngestBatch(logs []behavior.Log) {
 	s.store.AppendBatch(logs)
+	s.tel.IngestedLogs(len(logs))
 }
 
 // RegisterTransaction marks a user as having a transaction, making it
@@ -108,7 +142,19 @@ func (s *BNServer) Advance(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	jobs := s.builder.Advance(now)
-	s.snap.Store(s.g.Snapshot())
+	snap := s.g.Snapshot()
+	s.snap.Store(snap)
+	s.snapPublished.Store(time.Now().UnixNano())
+	if s.tel != nil {
+		st := s.builder.Stats()
+		stats := snap.Stats()
+		s.tel.AdvanceStats(
+			st.Jobs-s.lastStats.Jobs,
+			st.EdgeUpdates-s.lastStats.EdgeUpdates,
+			st.Pruned-s.lastStats.Pruned,
+			stats.Nodes, stats.Edges, snap.Epoch())
+		s.lastStats = st
+	}
 	return jobs
 }
 
@@ -277,8 +323,15 @@ type PredictionServer struct {
 	Prior float64
 
 	// Served counts audits by serving tier, plus "degraded", "shed" and
-	// "unknown" outcomes.
+	// "unknown" outcomes. It is backed by the telemetry registry's
+	// turbo_audit_outcomes_total family, so /stats and /metrics report
+	// the same counts.
 	Served *metrics.CounterSet
+
+	// Tel is the shared telemetry layer (registry, stage histograms,
+	// audit tracer). NewPredictionServer adopts the BN server's layer or
+	// creates one; never nil afterwards, but all uses are nil-safe.
+	Tel *Telemetry
 
 	lastMu sync.RWMutex
 	last   map[behavior.UserID]float64 // last-known scores (tier 3)
@@ -293,20 +346,35 @@ type PredictionServer struct {
 // admission cap, no deadlines, no fallback model. With a healthy feature
 // service the audit path is identical to the resilience-free pipeline.
 func NewPredictionServer(bnServer *BNServer, feats feature.Source, model gnn.Model, threshold float64) *PredictionServer {
-	return &PredictionServer{
-		bn:             bnServer,
-		feats:          feats,
-		model:          model,
-		Threshold:      threshold,
-		Breaker:        resilience.NewBreaker(resilience.BreakerConfig{}),
+	tel := bnServer.Telemetry()
+	if tel == nil {
+		tel = NewTelemetry(TelemetryOptions{})
+		bnServer.SetTelemetry(tel)
+	}
+	p := &PredictionServer{
+		bn:        bnServer,
+		feats:     feats,
+		model:     model,
+		Threshold: threshold,
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			OnStateChange: tel.BreakerHook(),
+		}),
 		Retry:          resilience.RetryConfig{Attempts: 2, BaseDelay: 5 * time.Millisecond},
 		Prior:          0.05,
-		Served:         metrics.NewCounterSet(),
+		Served:         metrics.NewCounterSetVec(tel.Outcomes()),
+		Tel:            tel,
 		last:           make(map[behavior.UserID]float64),
 		FeatureLatency: metrics.NewLatencyRecorder(),
 		PredictLatency: metrics.NewLatencyRecorder(),
 		TotalLatency:   metrics.NewLatencyRecorder(),
 	}
+	tel.RegisterBreakerGauge(func() float64 {
+		if p.Breaker == nil {
+			return -1
+		}
+		return float64(p.Breaker.State())
+	})
+	return p
 }
 
 // SwapModel atomically replaces the serving model and normalizer (the
@@ -365,10 +433,18 @@ func (p *PredictionServer) Predict(u behavior.UserID, at time.Time) (Prediction,
 // Only two conditions surface as errors: ErrUnknownUser (no profile
 // exists for u) and resilience.ErrOverloaded (admission shed the audit).
 func (p *PredictionServer) PredictCtx(ctx context.Context, u behavior.UserID, at time.Time) (Prediction, error) {
+	ctx, trace := p.Tel.StartTrace(ctx, uint64(u))
+	defer func() {
+		trace.SetBreaker(p.BreakerState())
+		p.Tel.FinishTrace(trace)
+	}()
 	if p.Admission != nil {
 		if !p.Admission.TryAcquire() {
 			p.Served.Inc("shed")
-			return Prediction{}, fmt.Errorf("server: audit of user %d: %w", u, resilience.ErrOverloaded)
+			err := fmt.Errorf("server: audit of user %d: %w", u, resilience.ErrOverloaded)
+			trace.SetTier("shed", false)
+			trace.SetError(err)
+			return Prediction{}, err
 		}
 		defer p.Admission.Release()
 	}
@@ -385,33 +461,42 @@ func (p *PredictionServer) PredictCtx(ctx context.Context, u behavior.UserID, at
 	pred, err := p.predictFull(ctx, feats, model, normalizer, u, at)
 	if err == nil {
 		p.finish(&pred, u, start, true)
+		trace.SetTier(pred.ServedBy, pred.Degraded)
 		return pred, nil
 	}
 	if errors.Is(err, ErrUnknownUser) {
 		p.Served.Inc("unknown")
+		trace.SetTier("unknown", false)
+		trace.SetError(err)
 		return Prediction{}, err
 	}
 
 	pred, ferr := p.predictFallback(ctx, feats, normalizer, u, at)
 	if ferr == nil {
 		p.finish(&pred, u, start, true)
+		trace.SetTier(pred.ServedBy, pred.Degraded)
 		return pred, nil
 	}
 	if errors.Is(ferr, ErrUnknownUser) {
 		p.Served.Inc("unknown")
+		trace.SetTier("unknown", false)
+		trace.SetError(ferr)
 		return Prediction{}, ferr
 	}
 
 	pred = p.predictStatic(u)
 	p.finish(&pred, u, start, false)
+	trace.SetTier(pred.ServedBy, pred.Degraded)
 	return pred, nil
 }
 
-// finish stamps the end-to-end latency, bumps the tier counters and,
-// for genuinely computed scores, remembers the result for tier 3.
+// finish stamps the end-to-end latency, bumps the tier counters and
+// stage histogram, records the tier on the trace and, for genuinely
+// computed scores, remembers the result for tier 3.
 func (p *PredictionServer) finish(pred *Prediction, u behavior.UserID, start time.Time, remember bool) {
 	pred.TotalLatency = time.Since(start)
 	p.TotalLatency.Record(pred.TotalLatency)
+	p.Tel.ObserveStage(StageTotal, pred.TotalLatency)
 	p.Served.Inc(pred.ServedBy)
 	if pred.Degraded {
 		p.Served.Inc("degraded")
@@ -433,7 +518,9 @@ func (p *PredictionServer) fetchVector(ctx context.Context, feats feature.Source
 		}
 	}
 	var vec []float64
+	attempts := 0
 	err := resilience.Retry(ctx, p.Retry, func(ctx context.Context) error {
+		attempts++
 		v, verr := feats.VectorCtx(ctx, u, at)
 		if verr != nil {
 			if errors.Is(verr, store.ErrNotFound) {
@@ -444,6 +531,10 @@ func (p *PredictionServer) fetchVector(ctx context.Context, feats feature.Source
 		vec = v
 		return nil
 	})
+	if attempts > 1 {
+		p.Tel.Retried(attempts - 1)
+		telemetry.TraceFrom(ctx).AddRetries(attempts - 1)
+	}
 	if p.Breaker != nil {
 		p.Breaker.Record(err == nil || errors.Is(err, store.ErrNotFound))
 	}
@@ -464,10 +555,13 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 		defer cancel()
 	}
 	sg, err := p.bn.SampleCtx(sctx, u)
+	sampleDone := time.Now()
+	trace := telemetry.TraceFrom(ctx)
+	trace.AddSpan(StageSample, start, sampleDone.Sub(start), telemetry.Outcome(err))
+	p.Tel.ObserveStage(StageSample, sampleDone.Sub(start))
 	if err != nil {
 		return Prediction{}, err
 	}
-	sampleDone := time.Now()
 
 	fctx := ctx
 	if p.Deadlines.Feature > 0 {
@@ -498,10 +592,12 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 			copy(x.Row(i), vec)
 		}
 	})
+	featDone := time.Now()
+	trace.AddSpan(StageFeature, sampleDone, featDone.Sub(sampleDone), telemetry.Outcome(ferr))
+	p.Tel.ObserveStage(StageFeature, featDone.Sub(sampleDone))
 	if ferr != nil {
 		return Prediction{}, ferr
 	}
-	featDone := time.Now()
 
 	var prob float64
 	var serr error
@@ -515,10 +611,12 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 		batch := gnn.NewBatch(sg, x)
 		prob, serr = gnn.ScoreCtx(scx, model, batch)
 	})
+	end := time.Now()
+	trace.AddSpan(StageScore, featDone, end.Sub(featDone), telemetry.Outcome(serr))
+	p.Tel.ObserveStage(StageScore, end.Sub(featDone))
 	if serr != nil {
 		return Prediction{}, serr
 	}
-	end := time.Now()
 
 	return Prediction{
 		User:           u,
@@ -548,19 +646,24 @@ func (p *PredictionServer) predictFallback(ctx context.Context, feats feature.So
 	}
 	fstart := time.Now()
 	vec, err := p.fetchVector(fctx, feats, u, at)
+	featDone := time.Now()
+	trace := telemetry.TraceFrom(ctx)
+	trace.AddSpan(StageFeature, fstart, featDone.Sub(fstart), telemetry.Outcome(err))
+	p.Tel.ObserveStage(StageFeature, featDone.Sub(fstart))
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return Prediction{}, fmt.Errorf("%w %d: %v", ErrUnknownUser, u, err)
 		}
 		return Prediction{}, fmt.Errorf("server: fallback features for user %d: %w", u, err)
 	}
-	featDone := time.Now()
 	if normalizer != nil {
 		vec = normalizer(vec)
 	}
 	x := tensor.New(1, len(vec))
 	copy(x.Row(0), vec)
 	prob := fb.PredictProba(x)[0]
+	trace.AddSpan(StageScore, featDone, time.Since(featDone), "ok")
+	p.Tel.ObserveStage(StageScore, time.Since(featDone))
 	return Prediction{
 		User:           u,
 		Probability:    prob,

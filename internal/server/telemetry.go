@@ -1,0 +1,263 @@
+package server
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"turbo/internal/resilience"
+	"turbo/internal/telemetry"
+)
+
+// TelemetryOptions configures the online stack's telemetry layer. Zero
+// values select DefBuckets, a 256-trace ring and no slow-audit logging.
+type TelemetryOptions struct {
+	// Buckets are the latency histogram upper bounds in seconds; nil
+	// selects telemetry.DefBuckets.
+	Buckets []float64
+	// TraceRingSize bounds the completed-trace ring served at
+	// /debug/traces. 0 selects 256.
+	TraceRingSize int
+	// SlowThreshold logs the full span breakdown of audits at least this
+	// slow. 0 disables slow-audit logging.
+	SlowThreshold time.Duration
+	// Logger receives slow-audit lines. Nil selects the default logger
+	// when SlowThreshold is set.
+	Logger *log.Logger
+}
+
+// Telemetry is the wired observability surface of one online stack: a
+// shared registry plus resolved handles for every hot-path metric, so an
+// observation is one atomic operation. All methods are safe on a nil
+// receiver (no-op), letting components instrument unconditionally.
+//
+// Metric catalog (all under GET /metrics):
+//
+//	turbo_audit_outcomes_total{outcome}   audits by tier + shed/degraded/unknown
+//	turbo_audit_stage_seconds{stage}      sample/feature/score/total latency histograms
+//	turbo_feature_retries_total           feature-fetch retries
+//	turbo_breaker_state                   0 closed, 1 open, 2 half-open, -1 disabled
+//	turbo_breaker_transitions_total{to}   breaker state transitions
+//	turbo_faults_injected_total{kind}     chaos injections (error/delay/hang)
+//	turbo_traces_slow_total               audits over the slow threshold
+//	turbo_bn_ingested_logs_total          behavior logs ingested
+//	turbo_bn_window_jobs_total            BN window epoch jobs executed
+//	turbo_bn_edge_updates_total           edge-weight contributions written
+//	turbo_bn_pruned_edges_total           TTL-pruned undirected edges
+//	turbo_bn_nodes / turbo_bn_edges       current snapshot size
+//	turbo_bn_snapshot_epoch               published snapshot epoch
+//	turbo_bn_snapshot_age_seconds         time since the snapshot was published
+//	turbo_bn_shard_skew                   max/mean shard node count
+type Telemetry struct {
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	outcomes    *telemetry.CounterVec
+	stage       *telemetry.HistogramVec
+	stageSample *telemetry.Histogram
+	stageFeat   *telemetry.Histogram
+	stageScore  *telemetry.Histogram
+	stageTotal  *telemetry.Histogram
+
+	retries     *telemetry.Counter
+	transitions *telemetry.CounterVec
+
+	faultErrs, faultDelays, faultHangs *telemetry.Counter
+
+	ingested    *telemetry.Counter
+	windowJobs  *telemetry.Counter
+	edgeUpdates *telemetry.Counter
+	pruned      *telemetry.Counter
+	bnNodes     *telemetry.Gauge
+	bnEdges     *telemetry.Gauge
+	snapEpoch   *telemetry.Gauge
+}
+
+// Audit pipeline stages, the label values of turbo_audit_stage_seconds.
+const (
+	StageSample  = "sample"
+	StageFeature = "feature"
+	StageScore   = "score"
+	StageTotal   = "total"
+)
+
+// NewTelemetry builds a registry, registers the full metric catalog and
+// resolves the hot-path handles.
+func NewTelemetry(opts TelemetryOptions) *Telemetry {
+	reg := telemetry.NewRegistry()
+	t := &Telemetry{Registry: reg}
+
+	t.outcomes = reg.CounterVec("turbo_audit_outcomes_total",
+		"Audits by serving tier (hag/fallback/cache/prior) plus shed, degraded and unknown outcomes.", "outcome")
+	t.stage = reg.HistogramVec("turbo_audit_stage_seconds",
+		"Per-stage audit latency.", opts.Buckets, "stage")
+	t.stageSample = t.stage.With(StageSample)
+	t.stageFeat = t.stage.With(StageFeature)
+	t.stageScore = t.stage.With(StageScore)
+	t.stageTotal = t.stage.With(StageTotal)
+
+	t.retries = reg.Counter("turbo_feature_retries_total",
+		"Feature fetches retried after a transient failure.")
+	t.transitions = reg.CounterVec("turbo_breaker_transitions_total",
+		"Feature breaker state transitions by destination state.", "to")
+
+	faults := reg.CounterVec("turbo_faults_injected_total",
+		"Chaos faults injected by kind.", "kind")
+	t.faultErrs = faults.With("error")
+	t.faultDelays = faults.With("delay")
+	t.faultHangs = faults.With("hang")
+
+	t.ingested = reg.Counter("turbo_bn_ingested_logs_total",
+		"Behavior logs ingested by the BN server.")
+	t.windowJobs = reg.Counter("turbo_bn_window_jobs_total",
+		"BN window epoch jobs executed.")
+	t.edgeUpdates = reg.Counter("turbo_bn_edge_updates_total",
+		"Edge-weight contributions written during BN construction.")
+	t.pruned = reg.Counter("turbo_bn_pruned_edges_total",
+		"Undirected edges dropped by TTL pruning.")
+	t.bnNodes = reg.Gauge("turbo_bn_nodes", "Nodes in the published BN snapshot.")
+	t.bnEdges = reg.Gauge("turbo_bn_edges", "Undirected edges in the published BN snapshot.")
+	t.snapEpoch = reg.Gauge("turbo_bn_snapshot_epoch", "Published BN snapshot epoch.")
+
+	logf := func(format string, args ...any) { log.Printf(format, args...) }
+	if opts.Logger != nil {
+		logf = opts.Logger.Printf
+	}
+	t.Tracer = telemetry.NewTracer(telemetry.TracerOptions{
+		RingSize:      opts.TraceRingSize,
+		SlowThreshold: opts.SlowThreshold,
+		Logf:          logf,
+		SlowCounter: reg.Counter("turbo_traces_slow_total",
+			"Audits slower than the slow-trace threshold."),
+	})
+	return t
+}
+
+// Outcomes exposes the tier/outcome counter family (the legacy
+// CounterSet shim wraps it so /stats and /metrics report one truth).
+func (t *Telemetry) Outcomes() *telemetry.CounterVec {
+	if t == nil {
+		return nil
+	}
+	return t.outcomes
+}
+
+// ObserveStage records one stage latency into the per-stage histogram.
+func (t *Telemetry) ObserveStage(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	switch stage {
+	case StageSample:
+		t.stageSample.ObserveDuration(d)
+	case StageFeature:
+		t.stageFeat.ObserveDuration(d)
+	case StageScore:
+		t.stageScore.ObserveDuration(d)
+	case StageTotal:
+		t.stageTotal.ObserveDuration(d)
+	default:
+		t.stage.With(stage).ObserveDuration(d)
+	}
+}
+
+// Retried counts n feature-fetch retries.
+func (t *Telemetry) Retried(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.retries.Add(int64(n))
+}
+
+// RegisterBreakerGauge registers turbo_breaker_state as a scrape-time
+// gauge (0 closed, 1 open, 2 half-open, -1 disabled), so the reading
+// stays correct even when the breaker instance is swapped at config
+// time. Re-registering replaces the callback.
+func (t *Telemetry) RegisterBreakerGauge(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_breaker_state",
+		"Feature breaker state: 0 closed, 1 open, 2 half-open, -1 disabled.", fn)
+}
+
+// BreakerHook returns an OnStateChange callback counting transitions
+// into turbo_breaker_transitions_total. Attach it to every breaker
+// guarding this stack (NewPredictionServer wires the default breaker
+// automatically).
+func (t *Telemetry) BreakerHook() func(from, to resilience.BreakerState) {
+	if t == nil {
+		return nil
+	}
+	return func(from, to resilience.BreakerState) {
+		t.transitions.With(to.String()).Inc()
+	}
+}
+
+// FaultCounters returns the chaos-injection counters, for wiring into a
+// resilience.Injector via SetCounters.
+func (t *Telemetry) FaultCounters() (errs, delays, hangs *telemetry.Counter) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	return t.faultErrs, t.faultDelays, t.faultHangs
+}
+
+// WireInjector mirrors inj's injections into the registry. Nil-safe on
+// both sides.
+func (t *Telemetry) WireInjector(inj *resilience.Injector) {
+	if t == nil || inj == nil {
+		return
+	}
+	inj.SetCounters(t.faultErrs, t.faultDelays, t.faultHangs)
+}
+
+// IngestedLogs counts n behavior logs into the BN ingest counter.
+func (t *Telemetry) IngestedLogs(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.ingested.Add(int64(n))
+}
+
+// AdvanceStats mirrors one Advance tick: construction counter deltas and
+// the published snapshot's size gauges.
+func (t *Telemetry) AdvanceStats(jobs, edgeUpdates, pruned int64, nodes, edges int, epoch uint64) {
+	if t == nil {
+		return
+	}
+	t.windowJobs.Add(jobs)
+	t.edgeUpdates.Add(edgeUpdates)
+	t.pruned.Add(pruned)
+	t.bnNodes.Set(float64(nodes))
+	t.bnEdges.Set(float64(edges))
+	t.snapEpoch.Set(float64(epoch))
+}
+
+// RegisterBNGauges registers the scrape-time BN gauges: snapshot age and
+// shard skew. Re-registering replaces the callbacks (last stack wins).
+func (t *Telemetry) RegisterBNGauges(snapshotAge, shardSkew func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_bn_snapshot_age_seconds",
+		"Seconds since the BN read snapshot was published.", snapshotAge)
+	t.Registry.GaugeFunc("turbo_bn_shard_skew",
+		"Max/mean node count across graph shards (1 = balanced).", shardSkew)
+}
+
+// StartTrace opens an audit trace for user u and attaches it to ctx.
+func (t *Telemetry) StartTrace(ctx context.Context, u uint64) (context.Context, *telemetry.Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.Tracer.Start(ctx, u)
+}
+
+// FinishTrace stamps, publishes and (when slow) logs the trace.
+func (t *Telemetry) FinishTrace(tr *telemetry.Trace) {
+	if t == nil {
+		return
+	}
+	t.Tracer.Finish(tr)
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/resilience"
+)
+
+// scrapeMetrics renders the stack's registry in Prometheus text format.
+func scrapeMetrics(t *testing.T, tel *Telemetry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestMetricsEndpoint drives real traffic through the stack and asserts
+// the /metrics exposition covers the acceptance catalog: tier counters,
+// per-stage histograms, breaker state, and the BN pipeline series.
+func TestMetricsEndpoint(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	// Traffic after telemetry is installed: audits, an ingest, a tick.
+	for _, uid := range []string{"1", "2", "3"} {
+		resp, err := http.Get(srv.URL + "/predict?uid=" + uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	bnServer.Ingest(mk(1, behavior.IPv4, "ip-x", 3*time.Hour))
+	bnServer.Advance(t0.Add(5 * time.Hour))
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		`turbo_audit_outcomes_total{outcome="hag"} 3`,
+		`turbo_audit_stage_seconds_bucket{stage="sample",le="+Inf"} 3`,
+		`turbo_audit_stage_seconds_bucket{stage="feature",le="+Inf"} 3`,
+		`turbo_audit_stage_seconds_bucket{stage="score",le="+Inf"} 3`,
+		`turbo_audit_stage_seconds_bucket{stage="total",le="+Inf"} 3`,
+		`turbo_audit_stage_seconds_count{stage="total"} 3`,
+		"turbo_breaker_state 0",
+		"turbo_bn_ingested_logs_total 1",
+		"turbo_bn_snapshot_epoch 3",
+		// 2 hourly epochs from the stack's seed Advance + 3 from ours;
+		// the first mirrored tick reports the cumulative builder totals.
+		"turbo_bn_window_jobs_total 5",
+		"turbo_bn_nodes 3",
+		"turbo_bn_snapshot_age_seconds",
+		"turbo_bn_shard_skew",
+		"turbo_feature_retries_total 0",
+		"turbo_traces_slow_total 0",
+		`turbo_faults_injected_total{kind="error"} 0`,
+		"# TYPE turbo_audit_stage_seconds histogram",
+		"# TYPE turbo_audit_outcomes_total counter",
+		"# TYPE turbo_breaker_state gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+}
+
+// TestDebugTracesEndpoint asserts /debug/traces returns the last K
+// traces newest-first with per-stage spans, bounds n, and rejects junk.
+func TestDebugTracesEndpoint(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for _, uid := range []string{"1", "2", "3"} {
+		resp, err := http.Get(srv.URL + "/predict?uid=" + uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	get := func(q string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return resp, nil
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, out
+	}
+
+	_, out := get("?n=2")
+	if out["returned"].(float64) != 2 {
+		t.Fatalf("returned %v want 2", out["returned"])
+	}
+	traces := out["traces"].([]any)
+	// Newest first: the last audit (uid=3) leads.
+	first := traces[0].(map[string]any)
+	if first["user"].(float64) != 3 {
+		t.Fatalf("newest trace user %v want 3", first["user"])
+	}
+	if first["served_by"] != TierFull {
+		t.Fatalf("served_by %v want %q", first["served_by"], TierFull)
+	}
+	if first["id"] == "" {
+		t.Fatal("trace has no id")
+	}
+	spans := first["spans"].([]any)
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		sp := s.(map[string]any)
+		names[i] = sp["name"].(string)
+		if sp["outcome"] != "ok" {
+			t.Fatalf("span %v outcome %v want ok", sp["name"], sp["outcome"])
+		}
+		if sp["duration_ns"].(float64) < 0 {
+			t.Fatalf("span %v negative duration", sp["name"])
+		}
+	}
+	if got := strings.Join(names, ","); got != "sample,feature,score" {
+		t.Fatalf("span names %q want sample,feature,score", got)
+	}
+
+	// n larger than the ring is clamped, not an error.
+	_, out = get("?n=1000000")
+	if got := out["returned"].(float64); got != 3 {
+		t.Fatalf("oversized n returned %v traces, want 3", got)
+	}
+	if out["ring_size"].(float64) < 1 {
+		t.Fatalf("ring_size %v", out["ring_size"])
+	}
+
+	// Default n.
+	_, out = get("")
+	if got := out["returned"].(float64); got != 3 {
+		t.Fatalf("default n returned %v traces, want 3", got)
+	}
+
+	// Junk n → 400.
+	for _, q := range []string{"?n=0", "?n=-5", "?n=abc"} {
+		resp, _ := get(q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /debug/traces%s: status %d want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestLatencyNumericFields asserts /latency carries raw nanosecond
+// values alongside the formatted strings (the dashboard-friendly form).
+func TestLatencyNumericFields(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/predict?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	d := out["total"]
+	if d["count"].(float64) < 1 {
+		t.Fatalf("empty total digest: %v", d)
+	}
+	for _, key := range []string{"mean_ns", "p50_ns", "p99_ns", "p999_ns"} {
+		v, ok := d[key].(float64)
+		if !ok {
+			t.Fatalf("digest field %q not numeric: %v", key, d[key])
+		}
+		if v <= 0 {
+			t.Fatalf("digest field %q = %v, want > 0 after one audit", key, v)
+		}
+	}
+	// The string and numeric forms describe the same duration.
+	want := time.Duration(int64(d["p50_ns"].(float64))).String()
+	if d["p50"].(string) != want {
+		t.Fatalf("p50 string %q != formatted p50_ns %q", d["p50"], want)
+	}
+}
+
+// TestTraceRecordsDegradedAudit asserts the trace of a degraded audit
+// carries the tier, breaker state and injected faults end to end.
+func TestTraceRecordsDegradedAudit(t *testing.T) {
+	cs := newChaosStack(t, resilience.FaultConfig{ErrorRate: 1, Seed: 8}, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := cs.pred.Predict(1, t0.Add(3*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := cs.pred.Tel.Tracer.Ring().Last(3)
+	if len(last) != 3 {
+		t.Fatalf("ring holds %d traces want 3", len(last))
+	}
+	newest := last[0]
+	if newest.ServedBy() == TierFull {
+		t.Fatalf("outage audit served by %q", newest.ServedBy())
+	}
+	// At least one of the traces saw an injected error (the breaker opens
+	// after 2 failures, so the first trace always does).
+	sawFault := false
+	for _, tr := range last {
+		if tr.Faults()["error"] > 0 {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("no trace recorded an injected fault")
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full Prometheus text output of a small
+// registry: family ordering (sorted by name), cell ordering (sorted by
+// label values), label escaping, and the histogram line set. CI fails
+// on any drift — dashboards parse this format.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered out of name order on purpose.
+	r.Gauge("zz_gauge", "a gauge").Set(2.5)
+	c := r.CounterVec("aa_outcomes_total", "audits by outcome", "outcome")
+	c.With("hag").Add(3)
+	c.With("fallback").Inc()
+	c.With(`we"ird\value` + "\n").Inc()
+	// Exactly representable values keep the _sum line stable.
+	h := r.Histogram("mm_latency_seconds", "stage latency", []float64{0.25, 0.5, 1})
+	h.Observe(0.125)
+	h.Observe(0.375)
+	h.Observe(0.375)
+	h.Observe(5)
+	r.Counter("bb_plain_total", "no labels").Add(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_outcomes_total audits by outcome
+# TYPE aa_outcomes_total counter
+aa_outcomes_total{outcome="fallback"} 1
+aa_outcomes_total{outcome="hag"} 3
+aa_outcomes_total{outcome="we\"ird\\value\n"} 1
+# HELP bb_plain_total no labels
+# TYPE bb_plain_total counter
+bb_plain_total 7
+# HELP mm_latency_seconds stage latency
+# TYPE mm_latency_seconds histogram
+mm_latency_seconds_bucket{le="0.25"} 1
+mm_latency_seconds_bucket{le="0.5"} 3
+mm_latency_seconds_bucket{le="1"} 3
+mm_latency_seconds_bucket{le="+Inf"} 4
+mm_latency_seconds_sum 5.875
+mm_latency_seconds_count 4
+# HELP zz_gauge a gauge
+# TYPE zz_gauge gauge
+zz_gauge 2.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramInvariants checks the Prometheus histogram contract on a
+// snapshot: cumulative buckets are non-decreasing, the +Inf bucket
+// equals the count, and boundary values land in the le-inclusive bucket.
+func TestHistogramInvariants(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	vals := []float64{0.0005, 0.001, 0.002, 0.01, 0.05, 0.1, 7, 0.0001}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("count %d want %d", s.Count, len(vals))
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("buckets not cumulative: %v", s.Cumulative)
+		}
+	}
+	// le is inclusive: 0.001 counts in the first bucket.
+	if s.Cumulative[0] != 3 { // 0.0005, 0.001, 0.0001
+		t.Fatalf("le=0.001 bucket %d want 3 (boundary must be inclusive)", s.Cumulative[0])
+	}
+	if diff := s.Sum - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum %v want %v", s.Sum, sum)
+	}
+}
+
+// TestVecHandleIdentity asserts With returns the same cell for the same
+// label values — the resolve-once contract hot paths rely on.
+func TestVecHandleIdentity(t *testing.T) {
+	v := NewCounterVec("tier")
+	a, b := v.With("hag"), v.With("hag")
+	if a != b {
+		t.Fatal("With returned distinct cells for identical labels")
+	}
+	a.Inc()
+	if v.With("hag").Value() != 1 {
+		t.Fatal("increment lost across handles")
+	}
+	if v.With("other") == a {
+		t.Fatal("distinct labels shared a cell")
+	}
+}
+
+// TestRegistryGetOrCreate asserts re-registration returns the same
+// metric, and kind mismatches panic.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "")
+	c2 := r.Counter("x_total", "")
+	if c1 != c2 {
+		t.Fatal("re-registration returned a new counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestObservationAllocFree pins the acceptance criterion that hot-path
+// observations allocate nothing.
+func TestObservationAllocFree(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	h := NewHistogram(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("observation allocated %v times per run, want 0", n)
+	}
+}
+
+// TestInvalidNamesPanic pins name validation.
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}

@@ -20,8 +20,11 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / resilience / server incl. chaos)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/...
+echo "== go test -race (graph / bn / resilience / server incl. chaos / telemetry incl. trace ring)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/...
+
+echo "== /metrics exposition golden test"
+go test -run 'TestExpositionGolden|TestMetricsEndpoint' ./internal/telemetry/... ./internal/server/...
 
 echo "== go test (full tier-1)"
 go test ./...
