@@ -28,23 +28,47 @@ func (c *CSR) NNZ() int { return len(c.ColIdx) }
 
 // MatMul computes A × H densely into a fresh matrix.
 func (c *CSR) MatMul(h *tensor.Matrix) *tensor.Matrix {
-	if h.Rows != c.NCols {
+	out := tensor.New(c.NRows, h.Cols)
+	c.MatMulInto(out, h)
+	return out
+}
+
+// MatMulInto computes A × H, accumulating into a zeroed dst of shape
+// NRows × h.Cols. dst must not alias h. Shared with the tape-free
+// inference path so both paths run the identical kernel (same parallel
+// row partition, same accumulation order).
+func (c *CSR) MatMulInto(dst, h *tensor.Matrix) {
+	if h.Rows != c.NCols || dst.Rows != c.NRows || dst.Cols != h.Cols {
 		panic("autodiff: CSR matmul shape mismatch")
 	}
-	out := tensor.New(c.NRows, h.Cols)
 	tensor.ParallelRows(c.NRows, c.NNZ()*h.Cols, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			dst := out.Row(i)
+			drow := dst.Row(i)
 			for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
 				w := c.Weights[p]
 				src := h.Row(c.ColIdx[p])
 				for j, v := range src {
-					dst[j] += w * v
+					drow[j] += w * v
 				}
 			}
 		}
 	})
-	return out
+}
+
+// MatMulRowInto computes row i of A × H into dst (1 × h.Cols), with the
+// identical per-row arithmetic of MatMulInto. dst must be zeroed.
+func (c *CSR) MatMulRowInto(dst, h *tensor.Matrix, i int) {
+	if h.Rows != c.NCols || dst.Rows != 1 || dst.Cols != h.Cols {
+		panic("autodiff: CSR row matmul shape mismatch")
+	}
+	drow := dst.Row(0)
+	for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+		w := c.Weights[p]
+		src := h.Row(c.ColIdx[p])
+		for j, v := range src {
+			drow[j] += w * v
+		}
+	}
 }
 
 // MatMulTrans computes Aᵀ × G, used for the backward pass.

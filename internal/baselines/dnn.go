@@ -72,13 +72,13 @@ func (m *DNN) Fit(x *tensor.Matrix, y []float64) {
 	}
 }
 
-// PredictProba implements Classifier.
+// PredictProba implements Classifier on the tape-free forward path:
+// inference needs no gradients, so the MLP runs on plain tensor kernels.
 func (m *DNN) PredictProba(x *tensor.Matrix) []float64 {
-	t := autodiff.NewTape()
-	logits := m.mlp.Forward(t, t.Const(x))
+	logits := m.mlp.Infer(x)
 	out := make([]float64, x.Rows)
 	for i := range out {
-		out[i] = tensor.SigmoidScalar(logits.Value.Data[i])
+		out[i] = tensor.SigmoidScalar(logits.Data[i])
 	}
 	return out
 }

@@ -1,0 +1,339 @@
+package gnn
+
+import (
+	"math"
+	"sync"
+
+	"turbo/internal/autodiff"
+	"turbo/internal/nn"
+	"turbo/internal/tensor"
+)
+
+// This file is the tape-free inference engine. Training needs the
+// autodiff tape — gradient buffers, backward closures, one Node per op —
+// but serving only needs logits, and on the audit hot path the tape is
+// pure overhead. Fwd provides the same kernels as the tape ops with
+// value-only semantics: every intermediate comes from the shape-keyed
+// tensor pool and is returned wholesale by ReleaseFwd, so a warmed-up
+// audit allocates almost nothing.
+//
+// Equivalence contract: each Fwd kernel runs the *same* arithmetic as
+// its tape counterpart — the same MatMul kernel on a zeroed destination,
+// the same parallel row partition (work estimates are identical), the
+// same elementwise formulas, the same accumulation order. Scores from
+// Infer therefore match the tape forward bitwise; the infer tests pin
+// this to ≤1e-12.
+
+// Inferer is a Model that additionally supports the tape-free forward
+// path. The returned logits matrix is Fwd scratch: read it before
+// releasing the Fwd, and do not retain it.
+type Inferer interface {
+	Infer(f *Fwd, b *Batch) *tensor.Matrix
+}
+
+// CanInfer reports whether a model routes through the tape-free path.
+func CanInfer(m Model) bool {
+	_, ok := m.(Inferer)
+	return ok
+}
+
+// TargetInferer is an Inferer that can additionally compute a single
+// node's logit without materializing every node's. Only the last
+// message-passing layer reads other rows of its input, so the final
+// layer and the head collapse to one-row work — the row's arithmetic is
+// identical to the full forward, and single-target audits are what the
+// serving path does.
+type TargetInferer interface {
+	Inferer
+	InferTarget(f *Fwd, b *Batch, node int) float64
+}
+
+// Fwd is a tape-free forward context. It keeps its scratch matrices
+// warm across Acquire/Release cycles: a model requests the same shape
+// sequence on every run, so a cursor into the retained list satisfies
+// warm Gets with two integer compares and a memclr — no pool hashing.
+// A Fwd is single-goroutine; concurrent inference uses one Fwd each.
+type Fwd struct {
+	mats []*tensor.Matrix
+	used int
+}
+
+// maxFwdMats caps how many warm matrices a pooled Fwd retains.
+const maxFwdMats = 256
+
+var fwdPool = sync.Pool{New: func() any { return new(Fwd) }}
+
+// AcquireFwd returns a forward context from the pool. Pair with
+// ReleaseFwd.
+func AcquireFwd() *Fwd { return fwdPool.Get().(*Fwd) }
+
+// ReleaseFwd recycles the context with its scratch kept warm. All
+// matrices obtained from f — including Infer results — are invalid
+// afterwards.
+func ReleaseFwd(f *Fwd) {
+	if len(f.mats) > maxFwdMats {
+		for i := maxFwdMats; i < len(f.mats); i++ {
+			tensor.PutMatrix(f.mats[i])
+			f.mats[i] = nil
+		}
+		f.mats = f.mats[:maxFwdMats]
+	}
+	f.used = 0
+	fwdPool.Put(f)
+}
+
+// Get returns a zeroed rows×cols scratch matrix owned by f.
+func (f *Fwd) Get(rows, cols int) *tensor.Matrix {
+	if f.used < len(f.mats) {
+		m := f.mats[f.used]
+		if m.Rows == rows && m.Cols == cols {
+			f.used++
+			clear(m.Data)
+			return m
+		}
+		// Shape drift (a different model reused this Fwd): swap the slot
+		// through the global pool.
+		tensor.PutMatrix(m)
+		m = tensor.GetMatrix(rows, cols)
+		f.mats[f.used] = m
+		f.used++
+		return m
+	}
+	m := tensor.GetMatrix(rows, cols)
+	f.mats = append(f.mats, m)
+	f.used++
+	return m
+}
+
+// MatMul computes a × b into scratch (same kernel as the tape MatMul).
+func (f *Fwd) MatMul(a, b *tensor.Matrix) *tensor.Matrix {
+	out := f.Get(a.Rows, b.Cols)
+	tensor.MatMulInto(out, a, b)
+	return out
+}
+
+// Aggregate computes A × h into scratch (the tape Aggregate kernel).
+func (f *Fwd) Aggregate(a *autodiff.CSR, h *tensor.Matrix) *tensor.Matrix {
+	out := f.Get(a.NRows, h.Cols)
+	a.MatMulInto(out, h)
+	return out
+}
+
+// AggregateRow computes row i of A × h into 1×cols scratch.
+func (f *Fwd) AggregateRow(a *autodiff.CSR, h *tensor.Matrix, i int) *tensor.Matrix {
+	out := f.Get(1, h.Cols)
+	a.MatMulRowInto(out, h, i)
+	return out
+}
+
+// Linear applies y = xW + b into scratch, mirroring nn.Linear.Forward.
+func (f *Fwd) Linear(l *nn.Linear, x *tensor.Matrix) *tensor.Matrix {
+	return f.MatMul(x, l.W.Value).AddRowVectorInPlace(l.B.Value)
+}
+
+// MLP runs an MLP forward into scratch, mirroring nn.MLP.Forward.
+func (f *Fwd) MLP(m *nn.MLP, x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	for i, l := range m.Layers {
+		h = f.Linear(l, h)
+		if i+1 < len(m.Layers) {
+			h = m.Hidden.ApplyInPlace(h)
+		}
+	}
+	return h
+}
+
+// ConcatCols writes [a ; b] side by side into scratch.
+func (f *Fwd) ConcatCols(a, b *tensor.Matrix) *tensor.Matrix {
+	out := f.Get(a.Rows, a.Cols+b.Cols)
+	tensor.ConcatColsInto(out, a, b)
+	return out
+}
+
+// SelectRows gathers rows idx of m into scratch.
+func (f *Fwd) SelectRows(m *tensor.Matrix, idx []int) *tensor.Matrix {
+	out := f.Get(len(idx), m.Cols)
+	tensor.SelectRowsInto(out, m, idx)
+	return out
+}
+
+// SegmentSoftmax computes the grouped softmax of an E×1 score vector
+// into scratch, with the exact algorithm of the tape op: rows not
+// covered by any segment stay zero, and each group divides by its sum.
+func (f *Fwd) SegmentSoftmax(a *tensor.Matrix, segments [][]int) *tensor.Matrix {
+	if a.Cols != 1 {
+		panic("gnn: SegmentSoftmax wants an E×1 score vector")
+	}
+	v := f.Get(a.Rows, 1)
+	for _, seg := range segments {
+		mx := math.Inf(-1)
+		for _, i := range seg {
+			if x := a.Data[i]; x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for _, i := range seg {
+			e := math.Exp(a.Data[i] - mx)
+			v.Data[i] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		for _, i := range seg {
+			v.Data[i] /= sum
+		}
+	}
+	return v
+}
+
+// --- model Infer implementations -------------------------------------------
+
+// Infer implements Inferer: the evaluation-mode GCN forward without a
+// tape. Dropout is identity in evaluation mode and is omitted.
+func (m *GCN) Infer(f *Fwd, b *Batch) *tensor.Matrix {
+	adj := b.MergedRWCSR()
+	h := b.X
+	for _, l := range m.layers {
+		h = tensor.ReLUInPlace(f.Linear(l, f.Aggregate(adj, h)))
+	}
+	return f.MLP(m.head, h)
+}
+
+// InferTarget implements TargetInferer: all but the last layer run in
+// full (their outputs feed every node's aggregation), then the last
+// layer and the head run on the target row alone.
+func (m *GCN) InferTarget(f *Fwd, b *Batch, node int) float64 {
+	adj := b.MergedRWCSR()
+	h := b.X
+	last := len(m.layers) - 1
+	for _, l := range m.layers[:last] {
+		h = tensor.ReLUInPlace(f.Linear(l, f.Aggregate(adj, h)))
+	}
+	row := tensor.ReLUInPlace(f.Linear(m.layers[last], f.AggregateRow(adj, h, node)))
+	return f.MLP(m.head, row).Data[0]
+}
+
+// Infer implements Inferer for GraphSAGE. The concat-linear of each
+// layer runs as a split matmul — W's top rows against h, bottom rows
+// against the aggregated neighbors — which is bitwise identical to the
+// tape's MatMul(ConcatCols(h, hn), W) without materializing the n×2d
+// concatenation.
+func (m *GraphSAGE) Infer(f *Fwd, b *Batch) *tensor.Matrix {
+	adj := b.MergedMeanCSR()
+	h := b.X
+	for _, l := range m.layers {
+		hn := f.Aggregate(adj, h)
+		out := f.Get(h.Rows, l.W.Value.Cols)
+		tensor.MatMulSplitInto(out, h, hn, l.W.Value)
+		h = tensor.ReLUInPlace(out.AddRowVectorInPlace(l.B.Value))
+	}
+	return f.MLP(m.head, h)
+}
+
+// hopDist marks the target's in-hop neighborhood on adj: the returned
+// 1×n scratch holds hops(i)+1 for every node within maxHops in-hops of
+// the target (so dist 1 is the target itself) and 0 elsewhere.
+func (f *Fwd) hopDist(adj *autodiff.CSR, node, maxHops int) *tensor.Matrix {
+	d := f.Get(1, adj.NRows)
+	d.Data[node] = 1
+	for hop := 1; hop <= maxHops; hop++ {
+		for i, di := range d.Data {
+			if di != float64(hop) {
+				continue
+			}
+			for _, j := range adj.ColIdx[adj.RowPtr[i]:adj.RowPtr[i+1]] {
+				if d.Data[j] == 0 {
+					d.Data[j] = float64(hop + 1)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// InferTarget implements TargetInferer for GraphSAGE. Beyond collapsing
+// the final layer to one row, the hidden layers skip every row outside
+// the target's in-hop frontier: layer l's output row i can reach the
+// target logit only if i is within last-l in-hops of it. The rows that
+// are computed run the unchanged per-row arithmetic (aggregate row,
+// split matmul, bias, ReLU), so the target logit stays bitwise equal to
+// the full forward's.
+func (m *GraphSAGE) InferTarget(f *Fwd, b *Batch, node int) float64 {
+	adj := b.MergedMeanCSR()
+	h := b.X
+	last := len(m.layers) - 1
+	dist := f.hopDist(adj, node, last)
+	for li, l := range m.layers[:last] {
+		out := f.Get(h.Rows, l.W.Value.Cols)
+		hn := f.Get(1, h.Cols)
+		hv := tensor.Matrix{Rows: 1, Cols: h.Cols}
+		ov := tensor.Matrix{Rows: 1, Cols: out.Cols}
+		reach := float64(last - li + 1) // dist encodes hops+1
+		for i, di := range dist.Data {
+			if di == 0 || di > reach {
+				continue
+			}
+			clear(hn.Data)
+			adj.MatMulRowInto(hn, h, i)
+			hv.Data = h.Row(i)
+			ov.Data = out.Row(i)
+			tensor.MatMulSplitInto(&ov, &hv, hn, l.W.Value)
+			tensor.ReLUInPlace(ov.AddRowVectorInPlace(l.B.Value))
+		}
+		h = out
+	}
+	l := m.layers[last]
+	hn := f.AggregateRow(adj, h, node)
+	out := f.Get(1, l.W.Value.Cols)
+	tensor.MatMulSplitInto(out, h.RowView(node), hn, l.W.Value)
+	row := tensor.ReLUInPlace(out.AddRowVectorInPlace(l.B.Value))
+	return f.MLP(m.head, row).Data[0]
+}
+
+// Infer implements Inferer for GAT, with two algebraic shortcuts the
+// tape cannot take (it must materialize every intermediate as a node):
+//
+//   - Attention scores gather from node-level projections: the tape's
+//     MatMul(SelectRows(wh, src), attSrc) row e is the dot product of
+//     wh row src[e] with attSrc, so computing s = wh×attSrc once (same
+//     kernel, same per-row arithmetic) and indexing s[src[e]] yields
+//     bitwise-equal scores at n·d instead of E·d multiplies.
+//   - Aggregation runs as an α-weighted sparse matmul directly over wh:
+//     the scatter formulation adds 1·(α_e·wh[src[e]]) per edge, this one
+//     adds α_e·wh[src[e]] at the same positions in the same order —
+//     the identical rounding sequence, without the E×d intermediate.
+func (m *GAT) Infer(f *Fwd, b *Batch) *tensor.Matrix {
+	st := b.gatStruct()
+	h := b.X
+	n := b.NumNodes
+	nE := len(st.src)
+	for _, layer := range m.layers {
+		var outs *tensor.Matrix
+		for _, hd := range layer.heads {
+			wh := f.MatMul(h, hd.w.Value)
+			sSrc := f.MatMul(wh, hd.attSrc.Value)
+			sDst := f.MatMul(wh, hd.attDst.Value)
+			score := f.Get(nE, 1)
+			for e, s := range st.src {
+				score.Data[e] = sSrc.Data[s] + sDst.Data[st.dst[e]]
+			}
+			alpha := f.SegmentSoftmax(tensor.LeakyReLUInPlace(score, 0.2), st.segments)
+			w := f.Get(nE, 1)
+			for p, e := range st.scatter.ColIdx {
+				w.Data[p] = alpha.Data[e]
+			}
+			adj := autodiff.CSR{NRows: n, NCols: n, RowPtr: st.scatter.RowPtr, ColIdx: st.nodeCol, Weights: w.Data}
+			agg := f.Get(n, wh.Cols)
+			adj.MatMulInto(agg, wh)
+			if outs == nil {
+				outs = agg
+			} else {
+				outs = f.ConcatCols(outs, agg)
+			}
+		}
+		h = tensor.ReLUInPlace(outs)
+	}
+	return f.MLP(m.head, h)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"turbo/internal/autodiff"
+	"turbo/internal/graph"
 	"turbo/internal/nn"
 	"turbo/internal/tensor"
 )
@@ -218,42 +219,73 @@ type gatStructure struct {
 	src, dst []int   // per edge, including self-loops
 	segments [][]int // edge indices grouped by destination
 	scatter  *autodiff.CSR
+	// nodeCol mirrors scatter.ColIdx with each edge id replaced by the
+	// edge's source node, so the tape-free path can aggregate α-weighted
+	// source features directly from wh (same positions, same order).
+	nodeCol []int
 }
 
 // gatStruct returns the batch's cached GAT edge structure, building it on
 // first use (the structure is per-batch, not per-model, so training
 // epochs reuse it).
 func (b *Batch) gatStruct() *gatStructure {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.gat == nil {
-		b.gat = buildGATStructure(b)
+		b.gat = b.buildGATStructure(b.mergedEdgesLocked())
 	}
 	return b.gat
 }
 
-func buildGATStructure(b *Batch) *gatStructure {
-	s := &gatStructure{}
-	for _, e := range b.MergedEdges() {
-		s.src = append(s.src, e.Src)
-		s.dst = append(s.dst, e.Dst)
+// buildGATStructure compiles the edge bookkeeping for GAT attention into
+// pooled flat arrays. The scatter matrix groups edges by destination (in
+// edge order, as the old per-row build did) and its ColIdx rows double
+// as the softmax segments. Callers must hold b.mu.
+func (b *Batch) buildGATStructure(merged []graph.LocalEdge) *gatStructure {
+	n := b.NumNodes
+	nE := len(merged) + n // plus self-loops
+	s := &gatStructure{src: b.getInts(nE), dst: b.getInts(nE)}
+	for i, e := range merged {
+		s.src[i] = e.Src
+		s.dst[i] = e.Dst
 	}
-	for i := 0; i < b.NumNodes; i++ { // self-loops
-		s.src = append(s.src, i)
-		s.dst = append(s.dst, i)
-	}
-	nE := len(s.src)
-	s.segments = make([][]int, b.NumNodes)
-	for e, d := range s.dst {
-		s.segments[d] = append(s.segments[d], e)
+	for i := 0; i < n; i++ { // self-loops
+		s.src[len(merged)+i] = i
+		s.dst[len(merged)+i] = i
 	}
 	// scatter[dst, e] = 1: multiplies the α-weighted per-edge source
 	// features into per-node sums.
-	rows := make([][]int, b.NumNodes)
-	weights := make([][]float64, b.NumNodes)
-	for e := 0; e < nE; e++ {
-		rows[s.dst[e]] = append(rows[s.dst[e]], e)
-		weights[s.dst[e]] = append(weights[s.dst[e]], 1)
+	rowPtr := b.getInts(n + 1)
+	colIdx := b.getInts(nE)
+	weights := b.getFloats(nE)
+	next := tensor.GetInts(n)
+	for _, d := range s.dst {
+		next[d]++
 	}
-	s.scatter = autodiff.NewCSR(b.NumNodes, nE, rows, weights)
+	sum := 0
+	for i := 0; i < n; i++ {
+		c := next[i]
+		rowPtr[i] = sum
+		next[i] = sum
+		sum += c
+	}
+	rowPtr[n] = sum
+	for e, d := range s.dst {
+		p := next[d]
+		next[d]++
+		colIdx[p] = e
+		weights[p] = 1
+	}
+	tensor.PutInts(next)
+	s.scatter = &autodiff.CSR{NRows: n, NCols: nE, RowPtr: rowPtr, ColIdx: colIdx, Weights: weights}
+	s.segments = make([][]int, n)
+	for i := 0; i < n; i++ {
+		s.segments[i] = colIdx[rowPtr[i]:rowPtr[i+1]]
+	}
+	s.nodeCol = b.getInts(nE)
+	for p, e := range colIdx {
+		s.nodeCol[p] = s.src[e]
+	}
 	return s
 }
 

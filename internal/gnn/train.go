@@ -108,8 +108,27 @@ func Train(m Model, b *Batch, trainIdx []int, labels []float64, cfg TrainConfig)
 }
 
 // Scores runs the model in evaluation mode and returns the sigmoid fraud
-// probability of every node in the batch.
+// probability of every node in the batch. Models implementing Inferer
+// are scored on the tape-free fast path (identical arithmetic, no tape
+// or gradient bookkeeping); others fall back to TapeScores.
 func Scores(m Model, b *Batch) []float64 {
+	if inf, ok := m.(Inferer); ok {
+		f := AcquireFwd()
+		defer ReleaseFwd(f)
+		logits := inf.Infer(f, b)
+		out := make([]float64, b.NumNodes)
+		for i := 0; i < b.NumNodes; i++ {
+			out[i] = tensor.SigmoidScalar(logits.Data[i])
+		}
+		return out
+	}
+	return TapeScores(m, b)
+}
+
+// TapeScores is the tape-backed evaluation path, kept for models without
+// an Infer implementation and as the reference the equivalence tests and
+// benchmarks compare the fast path against.
+func TapeScores(m Model, b *Batch) []float64 {
 	tape := autodiff.NewTape()
 	logits := m.Forward(tape, b, nil)
 	out := make([]float64, b.NumNodes)
@@ -121,8 +140,26 @@ func Scores(m Model, b *Batch) []float64 {
 
 // Score returns the fraud probability of node 0 of the batch — by
 // convention the target node of a sampled computation subgraph — which
-// is the online-inference entry point.
+// is the online-inference entry point. Inferer models take the
+// tape-free path.
 func Score(m Model, b *Batch) float64 {
+	if ti, ok := m.(TargetInferer); ok {
+		f := AcquireFwd()
+		s := tensor.SigmoidScalar(ti.InferTarget(f, b, 0))
+		ReleaseFwd(f)
+		return s
+	}
+	if inf, ok := m.(Inferer); ok {
+		f := AcquireFwd()
+		s := tensor.SigmoidScalar(inf.Infer(f, b).Data[0])
+		ReleaseFwd(f)
+		return s
+	}
+	return TapeScore(m, b)
+}
+
+// TapeScore is Score on the tape-backed reference path.
+func TapeScore(m Model, b *Batch) float64 {
 	tape := autodiff.NewTape()
 	logits := m.Forward(tape, b, nil)
 	return tensor.SigmoidScalar(logits.Value.Data[0])

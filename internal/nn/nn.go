@@ -74,6 +74,13 @@ func (l *Linear) Forward(t *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
 	return t.AddRowVector(t.MatMul(x, l.W.Node(t)), l.B.Node(t))
 }
 
+// Infer applies the layer without a tape: y = xW + b into a fresh
+// matrix. The arithmetic matches Forward exactly (same MatMul kernel,
+// same add order), so inference reproduces training-mode values bitwise.
+func (l *Linear) Infer(x *tensor.Matrix) *tensor.Matrix {
+	return x.MatMul(l.W.Value).AddRowVectorInPlace(l.B.Value)
+}
+
 // Parameters implements Module.
 func (l *Linear) Parameters() []*Parameter { return []*Parameter{l.W, l.B} }
 
@@ -99,6 +106,21 @@ func (a Activation) Apply(t *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
 		return t.Sigmoid(x)
 	default:
 		return x
+	}
+}
+
+// ApplyInPlace applies the activation to m in place, tape-free, using
+// the same element formulas as the tape ops.
+func (a Activation) ApplyInPlace(m *tensor.Matrix) *tensor.Matrix {
+	switch a {
+	case ActReLU:
+		return tensor.ReLUInPlace(m)
+	case ActTanh:
+		return tensor.TanhInPlace(m)
+	case ActSigmoid:
+		return tensor.SigmoidInPlace(m)
+	default:
+		return m
 	}
 }
 
@@ -128,6 +150,18 @@ func (m *MLP) Forward(t *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
 		h = l.Forward(t, h)
 		if i+1 < len(m.Layers) {
 			h = m.Hidden.Apply(t, h)
+		}
+	}
+	return h
+}
+
+// Infer runs the MLP without a tape, mirroring Forward's op order.
+func (m *MLP) Infer(x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Infer(h)
+		if i+1 < len(m.Layers) {
+			h = m.Hidden.ApplyInPlace(h)
 		}
 	}
 	return h

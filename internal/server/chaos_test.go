@@ -258,6 +258,10 @@ func TestChaosSamplingHangFallsBackToFeatureModel(t *testing.T) {
 func TestChaosFeatureDelayDegradesFanOutOnly(t *testing.T) {
 	cs := newChaosStack(t, resilience.FaultConfig{Delay: 100 * time.Millisecond, Seed: 3}, 100)
 	cs.pred.Breaker = nil // isolate the deadline behavior
+	// Pin the sequential fan-out: this test exercises the deadline
+	// ladder via fan-out cost (2 sequential fetches > budget > 1 fetch),
+	// which parallel fetches would legitimately hide.
+	cs.pred.FanoutWorkers = 1
 	cs.pred.Deadlines = StageDeadlines{Feature: 150 * time.Millisecond}
 
 	// User 1's subgraph has 2 nodes: the fan-out needs ~200ms > 150ms,

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -321,6 +322,11 @@ type PredictionServer struct {
 	// Prior is the tier-3 score for users with no cached score (the base
 	// fraud rate). NewPredictionServer sets 0.05.
 	Prior float64
+	// FanoutWorkers bounds the concurrent feature fetches of one audit's
+	// fan-out. 0 selects min(8, GOMAXPROCS); 1 forces the sequential
+	// fan-out. Every fetch keeps its full breaker/retry/deadline
+	// semantics regardless of the setting.
+	FanoutWorkers int
 
 	// Served counts audits by serving tier, plus "degraded", "shed" and
 	// "unknown" outcomes. It is backed by the telemetry registry's
@@ -335,6 +341,10 @@ type PredictionServer struct {
 
 	lastMu sync.RWMutex
 	last   map[behavior.UserID]float64 // last-known scores (tier 3)
+
+	// fanoutInFlight counts feature fetches currently in flight across
+	// all audits, exposed as turbo_feature_fanout_inflight.
+	fanoutInFlight atomic.Int64
 
 	FeatureLatency *metrics.LatencyRecorder
 	PredictLatency *metrics.LatencyRecorder
@@ -374,7 +384,20 @@ func NewPredictionServer(bnServer *BNServer, feats feature.Source, model gnn.Mod
 		}
 		return float64(p.Breaker.State())
 	})
+	tel.RegisterFanoutGauge(func() float64 {
+		return float64(p.fanoutInFlight.Load())
+	})
 	return p
+}
+
+// defaultFanoutWorkers is the FanoutWorkers=0 worker count: enough
+// parallelism to hide feature-store latency without letting one audit
+// monopolize the scheduler.
+func defaultFanoutWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w < 8 {
+		return w
+	}
+	return 8
 }
 
 // SwapModel atomically replaces the serving model and normalizer (the
@@ -541,6 +564,114 @@ func (p *PredictionServer) fetchVector(ctx context.Context, feats feature.Source
 	return vec, err
 }
 
+// fanoutError wraps a fetch failure the way the audit path reports it:
+// a missing profile for the target user is ErrUnknownUser (HTTP 404),
+// anything else names the failing node.
+func fanoutError(node graph.NodeID, u behavior.UserID, verr error) error {
+	if behavior.UserID(node) == u && errors.Is(verr, store.ErrNotFound) {
+		return fmt.Errorf("%w %d: %v", ErrUnknownUser, u, verr)
+	}
+	return fmt.Errorf("server: features for node %d: %w", node, verr)
+}
+
+// fanoutFeatures fetches the feature vector of every subgraph node and
+// assembles the pooled feature matrix (the caller returns it with
+// tensor.PutMatrix). With FanoutWorkers > 1 the fetches run on a
+// bounded worker pool; each individual fetch keeps the sequential
+// path's breaker/retry/deadline semantics (fetchVector is unchanged),
+// and the first hard error cancels the remaining fetches. Error
+// reporting is deterministic under concurrency: a missing target
+// profile always surfaces as ErrUnknownUser, and otherwise the
+// lowest-indexed root-cause failure wins — cancellations induced by our
+// own fail-fast never mask it.
+func (p *PredictionServer) fanoutFeatures(ctx context.Context, feats feature.Source, normalizer func([]float64) []float64, sg *graph.Subgraph, u behavior.UserID, at time.Time) (*tensor.Matrix, error) {
+	n := sg.NumNodes()
+	workers := p.FanoutWorkers
+	if workers <= 0 {
+		workers = defaultFanoutWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var x *tensor.Matrix
+		for i, node := range sg.Nodes {
+			p.fanoutInFlight.Add(1)
+			vec, verr := p.fetchVector(ctx, feats, behavior.UserID(node), at)
+			p.fanoutInFlight.Add(-1)
+			if verr != nil {
+				tensor.PutMatrix(x)
+				return nil, fanoutError(node, u, verr)
+			}
+			if normalizer != nil {
+				vec = normalizer(vec)
+			}
+			if x == nil {
+				x = tensor.GetMatrix(n, len(vec))
+			}
+			copy(x.Row(i), vec)
+		}
+		return x, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	vecs := make([][]float64, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				p.fanoutInFlight.Add(1)
+				vec, verr := p.fetchVector(cctx, feats, behavior.UserID(sg.Nodes[i]), at)
+				p.fanoutInFlight.Add(-1)
+				if verr != nil {
+					errs[i] = verr
+					failed.Store(true)
+					cancel() // fail fast: abort in-flight sibling fetches
+					return
+				}
+				if normalizer != nil {
+					vec = normalizer(vec)
+				}
+				vecs[i] = vec
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	firstIdx := -1
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if behavior.UserID(sg.Nodes[i]) == u && errors.Is(e, store.ErrNotFound) {
+			return nil, fanoutError(sg.Nodes[i], u, e)
+		}
+		if firstErr == nil ||
+			(errors.Is(firstErr, context.Canceled) && !errors.Is(e, context.Canceled)) {
+			firstErr, firstIdx = e, i
+		}
+	}
+	if firstErr != nil {
+		return nil, fanoutError(sg.Nodes[firstIdx], u, firstErr)
+	}
+	x := tensor.GetMatrix(n, len(vecs[0]))
+	for i, v := range vecs {
+		copy(x.Row(i), v)
+	}
+	return x, nil
+}
+
 // predictFull is tier 1: sample the computation subgraph, fan out the
 // feature fetches, run the HAG model. Each stage honors its deadline.
 func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source, model gnn.Model, normalizer func([]float64) []float64, u behavior.UserID, at time.Time) (Prediction, error) {
@@ -573,24 +704,7 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 	var x *tensor.Matrix
 	var ferr error
 	p.FeatureLatency.Time(func() {
-		for i, node := range sg.Nodes {
-			vec, verr := p.fetchVector(fctx, feats, behavior.UserID(node), at)
-			if verr != nil {
-				if behavior.UserID(node) == u && errors.Is(verr, store.ErrNotFound) {
-					ferr = fmt.Errorf("%w %d: %v", ErrUnknownUser, u, verr)
-				} else {
-					ferr = fmt.Errorf("server: features for node %d: %w", node, verr)
-				}
-				return
-			}
-			if normalizer != nil {
-				vec = normalizer(vec)
-			}
-			if x == nil {
-				x = tensor.New(n, len(vec))
-			}
-			copy(x.Row(i), vec)
-		}
+		x, ferr = p.fanoutFeatures(fctx, feats, normalizer, sg, u, at)
 	})
 	featDone := time.Now()
 	trace.AddSpan(StageFeature, sampleDone, featDone.Sub(sampleDone), telemetry.Outcome(ferr))
@@ -610,6 +724,8 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 		}
 		batch := gnn.NewBatch(sg, x)
 		prob, serr = gnn.ScoreCtx(scx, model, batch)
+		batch.Release()
+		tensor.PutMatrix(x)
 	})
 	end := time.Now()
 	trace.AddSpan(StageScore, featDone, end.Sub(featDone), telemetry.Outcome(serr))
@@ -617,6 +733,7 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 	if serr != nil {
 		return Prediction{}, serr
 	}
+	p.Tel.ScoreMode(gnn.CanInfer(model))
 
 	return Prediction{
 		User:           u,

@@ -19,7 +19,7 @@ func mk(u behavior.UserID, typ behavior.Type, val string, offset time.Duration) 
 // newTestStack wires a BN server, feature service and prediction server
 // around a tiny trained GraphSAGE model. Users 1 and 2 share a device
 // within an hour; user 3 is unrelated.
-func newTestStack(t *testing.T) (*BNServer, *PredictionServer) {
+func newTestStack(t testing.TB) (*BNServer, *PredictionServer) {
 	t.Helper()
 	bnServer, err := NewBNServer(bn.Config{Windows: []time.Duration{time.Hour}}, t0)
 	if err != nil {

@@ -40,6 +40,8 @@ type TelemetryOptions struct {
 //	turbo_breaker_transitions_total{to}   breaker state transitions
 //	turbo_faults_injected_total{kind}     chaos injections (error/delay/hang)
 //	turbo_traces_slow_total               audits over the slow threshold
+//	turbo_score_mode_total{mode}          scoring passes by path (tape vs tape-free infer)
+//	turbo_feature_fanout_inflight         feature fetches currently in flight
 //	turbo_bn_ingested_logs_total          behavior logs ingested
 //	turbo_bn_window_jobs_total            BN window epoch jobs executed
 //	turbo_bn_edge_updates_total           edge-weight contributions written
@@ -61,6 +63,9 @@ type Telemetry struct {
 
 	retries     *telemetry.Counter
 	transitions *telemetry.CounterVec
+
+	scoreTape  *telemetry.Counter
+	scoreInfer *telemetry.Counter
 
 	faultErrs, faultDelays, faultHangs *telemetry.Counter
 
@@ -98,6 +103,10 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 
 	t.retries = reg.Counter("turbo_feature_retries_total",
 		"Feature fetches retried after a transient failure.")
+	scoreMode := reg.CounterVec("turbo_score_mode_total",
+		"Model scoring passes by forward path: tape-free infer vs autodiff tape.", "mode")
+	t.scoreTape = scoreMode.With("tape")
+	t.scoreInfer = scoreMode.With("infer")
 	t.transitions = reg.CounterVec("turbo_breaker_transitions_total",
 		"Feature breaker state transitions by destination state.", "to")
 
@@ -167,6 +176,30 @@ func (t *Telemetry) Retried(n int) {
 		return
 	}
 	t.retries.Add(int64(n))
+}
+
+// ScoreMode counts one scoring pass on the infer (tape-free) or tape
+// path.
+func (t *Telemetry) ScoreMode(infer bool) {
+	if t == nil {
+		return
+	}
+	if infer {
+		t.scoreInfer.Inc()
+	} else {
+		t.scoreTape.Inc()
+	}
+}
+
+// RegisterFanoutGauge registers turbo_feature_fanout_inflight as a
+// scrape-time gauge reading the prediction server's in-flight feature
+// fetch count. Re-registering replaces the callback.
+func (t *Telemetry) RegisterFanoutGauge(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_feature_fanout_inflight",
+		"Feature fetches currently in flight across the audit fan-out workers.", fn)
 }
 
 // RegisterBreakerGauge registers turbo_breaker_state as a scrape-time

@@ -77,6 +77,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"turbo_bn_snapshot_age_seconds",
 		"turbo_bn_shard_skew",
 		"turbo_feature_retries_total 0",
+		// GraphSAGE implements gnn.Inferer, so all three audits score on
+		// the tape-free path.
+		`turbo_score_mode_total{mode="infer"} 3`,
+		`turbo_score_mode_total{mode="tape"} 0`,
+		"turbo_feature_fanout_inflight 0",
+		"# TYPE turbo_feature_fanout_inflight gauge",
 		"turbo_traces_slow_total 0",
 		`turbo_faults_injected_total{kind="error"} 0`,
 		"# TYPE turbo_audit_stage_seconds histogram",

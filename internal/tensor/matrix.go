@@ -142,6 +142,63 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// RowView returns a 1×Cols matrix sharing row i's storage with m.
+// Mutating the view mutates m.
+func (m *Matrix) RowView(i int) *Matrix {
+	return &Matrix{Rows: 1, Cols: m.Cols, Data: m.Row(i)}
+}
+
+// MatMulSplitInto computes [a1 | a2] × b into dst without materializing
+// the column concatenation: b's first a1.Cols rows pair with a1, the
+// rest with a2. The accumulation order (and the parallel row partition)
+// is exactly that of MatMulInto on the concatenated matrix, so results
+// are bitwise identical. dst must be zeroed and must not alias a1, a2
+// or b.
+func MatMulSplitInto(dst, a1, a2, b *Matrix) {
+	if a1.Rows != a2.Rows || a1.Cols+a2.Cols != b.Rows || dst.Rows != a1.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulSplitInto shape mismatch")
+	}
+	n := b.Cols
+	off := a1.Cols * n
+	work := a1.Rows * (a1.Cols + a2.Cols) * n
+	if work >= parallelThreshold && a1.Rows > 1 {
+		parallelRows(a1.Rows, func(lo, hi int) { matMulSplitRange(dst, a1, a2, b, off, lo, hi) })
+		return
+	}
+	matMulSplitRange(dst, a1, a2, b, off, 0, a1.Rows)
+}
+
+// matMulSplitRange runs rows [lo, hi) of MatMulSplitInto. A top-level
+// function rather than a closure so the sequential path — which the
+// single-row inference kernels hit once per computed row — stays
+// allocation-free.
+func matMulSplitRange(dst, a1, a2, b *Matrix, off, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		arow := a1.Data[i*a1.Cols : (i+1)*a1.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+		arow = a2.Data[i*a2.Cols : (i+1)*a2.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[off+k*n : off+k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
 // MatMulTransB returns m × oᵀ.
 func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
 	if m.Cols != o.Cols {
@@ -303,6 +360,21 @@ func (m *Matrix) AddRowVector(v *Matrix) *Matrix {
 	return out
 }
 
+// AddRowVectorInPlace adds the 1×Cols vector v to each row of m and
+// returns m.
+func (m *Matrix) AddRowVectorInPlace(v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: addRowVector wants 1x%d, got %dx%d", m.Cols, v.Rows, v.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v.Data {
+			row[j] += b
+		}
+	}
+	return m
+}
+
 // MulColVector returns m with each row i scaled by v[i] (v is Rows×1).
 func (m *Matrix) MulColVector(v *Matrix) *Matrix {
 	if v.Cols != 1 || v.Rows != m.Rows {
@@ -319,6 +391,22 @@ func (m *Matrix) MulColVector(v *Matrix) *Matrix {
 	return out
 }
 
+// MulColVectorInPlace scales each row i of m by v[i] (v is Rows×1) and
+// returns m.
+func (m *Matrix) MulColVectorInPlace(v *Matrix) *Matrix {
+	if v.Cols != 1 || v.Rows != m.Rows {
+		panic(fmt.Sprintf("tensor: mulColVector wants %dx1, got %dx%d", m.Rows, v.Rows, v.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := v.Data[i]
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
+	}
+	return m
+}
+
 // ConcatCols returns [m ; o] stacked horizontally (same row count).
 func (m *Matrix) ConcatCols(o *Matrix) *Matrix {
 	if m.Rows != o.Rows {
@@ -330,6 +418,21 @@ func (m *Matrix) ConcatCols(o *Matrix) *Matrix {
 		copy(out.Data[i*out.Cols+m.Cols:], o.Row(i))
 	}
 	return out
+}
+
+// ConcatColsInto writes [a ; b] stacked horizontally into dst, which
+// must be a.Rows × (a.Cols+b.Cols) and must not alias a or b.
+func ConcatColsInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: concatCols row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: concatColsInto wants %dx%d, got %dx%d", a.Rows, a.Cols+b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		copy(dst.Data[i*dst.Cols:], a.Row(i))
+		copy(dst.Data[i*dst.Cols+a.Cols:], b.Row(i))
+	}
 }
 
 // ConcatRows returns m stacked on top of o (same column count).
@@ -362,6 +465,17 @@ func (m *Matrix) SelectRows(idx []int) *Matrix {
 		copy(out.Row(i), m.Row(r))
 	}
 	return out
+}
+
+// SelectRowsInto gathers the given row indices of m into dst, which
+// must be len(idx) × m.Cols and must not alias m.
+func SelectRowsInto(dst, m *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: selectRowsInto wants %dx%d, got %dx%d", len(idx), m.Cols, dst.Rows, dst.Cols))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
 }
 
 // Sum returns the sum of all elements.

@@ -12,11 +12,47 @@ func ReLU(m *Matrix) *Matrix {
 	})
 }
 
+// ReLUInPlace clamps negative elements to 0 in place and returns m.
+func ReLUInPlace(m *Matrix) *Matrix {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
 // Tanh returns tanh(x) element-wise.
 func Tanh(m *Matrix) *Matrix { return m.Apply(math.Tanh) }
 
+// TanhInPlace applies tanh element-wise in place and returns m.
+func TanhInPlace(m *Matrix) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = math.Tanh(v)
+	}
+	return m
+}
+
 // Sigmoid returns 1/(1+e^-x) element-wise, computed stably.
 func Sigmoid(m *Matrix) *Matrix { return m.Apply(SigmoidScalar) }
+
+// SigmoidInPlace applies the stable logistic element-wise in place.
+func SigmoidInPlace(m *Matrix) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = SigmoidScalar(v)
+	}
+	return m
+}
+
+// LeakyReLUInPlace applies x → x if x > 0 else slope·x in place.
+func LeakyReLUInPlace(m *Matrix, slope float64) *Matrix {
+	for i, v := range m.Data {
+		if v <= 0 {
+			m.Data[i] = slope * v
+		}
+	}
+	return m
+}
 
 // SigmoidScalar computes the logistic function with overflow protection.
 func SigmoidScalar(v float64) float64 {
@@ -31,9 +67,23 @@ func SigmoidScalar(v float64) float64 {
 // SoftmaxRows returns row-wise softmax with max-subtraction stability.
 func SoftmaxRows(m *Matrix) *Matrix {
 	out := New(m.Rows, m.Cols)
+	SoftmaxRowsInto(out, m)
+	return out
+}
+
+// SoftmaxRowsInPlace computes row-wise softmax in place and returns m.
+func SoftmaxRowsInPlace(m *Matrix) *Matrix {
+	SoftmaxRowsInto(m, m)
+	return m
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of m into dst (same
+// shape); dst == m is allowed.
+func SoftmaxRowsInto(dst, m *Matrix) {
+	m.assertSameShape(dst, "softmaxRows")
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
-		dst := out.Row(i)
+		dst := dst.Row(i)
 		mx := math.Inf(-1)
 		for _, v := range row {
 			if v > mx {
@@ -54,7 +104,6 @@ func SoftmaxRows(m *Matrix) *Matrix {
 			dst[j] *= inv
 		}
 	}
-	return out
 }
 
 // LogSumExpRows returns a Rows×1 matrix of log(Σⱼ exp(mᵢⱼ)).

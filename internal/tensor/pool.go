@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// pool.go is the scratch arena behind the tape-free inference path: a
+// shape-keyed matrix pool plus capacity-class slice pools for the CSR
+// buffers compiled per audit. The audit hot path runs the same shapes
+// over and over (model layer sizes × sampled-subgraph sizes), so pooled
+// buffers hit almost always and the steady state allocates nothing.
+//
+// Ownership is strict: a Get hands out an exclusively owned buffer; a
+// Put transfers it back. Buffers are zeroed on Get, not on Put, so the
+// accumulate-style kernels (MatMulInto, CSR.MatMulInto) can use them
+// directly.
+
+// matrixPools maps an exact (rows, cols) shape to its sync.Pool. Exact
+// shape keying (rather than capacity classes) keeps Row slicing and the
+// kernels' dimension checks trivial; the shape population is small and
+// stable in practice.
+var matrixPools sync.Map // shapeKey → *sync.Pool of *Matrix
+
+type shapeKey struct{ rows, cols int }
+
+func matrixPool(rows, cols int) *sync.Pool {
+	k := shapeKey{rows, cols}
+	if p, ok := matrixPools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := matrixPools.LoadOrStore(k, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetMatrix returns a zeroed rows×cols matrix from the shape pool,
+// allocating only when the pool is empty. Pair with PutMatrix.
+func GetMatrix(rows, cols int) *Matrix {
+	if m, _ := matrixPool(rows, cols).Get().(*Matrix); m != nil {
+		m.Zero()
+		return m
+	}
+	return New(rows, cols)
+}
+
+// PutMatrix returns m to its shape pool. m must not be used afterwards;
+// nil and zero-sized matrices are dropped.
+func PutMatrix(m *Matrix) {
+	if m == nil || len(m.Data) == 0 {
+		return
+	}
+	matrixPool(m.Rows, m.Cols).Put(m)
+}
+
+// Slice pools are keyed by power-of-two capacity class. Get allocates
+// with an exact power-of-two capacity so every pooled slice re-enters
+// its own class on Put; foreign slices (non-power-of-two capacity) are
+// silently dropped rather than poisoning a class.
+const numSliceClasses = 28 // up to 2^27 elements (1 GiB of float64)
+
+var (
+	intPools   [numSliceClasses]sync.Pool
+	floatPools [numSliceClasses]sync.Pool
+)
+
+// sliceClass returns the pool class holding capacities of exactly 2^c
+// with 2^c >= n, or -1 when n is too large to pool.
+func sliceClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= numSliceClasses {
+		return -1
+	}
+	return c
+}
+
+// GetInts returns a zeroed length-n int slice from the capacity-class
+// pool. Pair with PutInts.
+func GetInts(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	c := sliceClass(n)
+	if c < 0 {
+		return make([]int, n)
+	}
+	if s, _ := intPools[c].Get().([]int); s != nil {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int, n, 1<<c)
+}
+
+// PutInts returns s to its capacity-class pool. Slices whose capacity is
+// not an exact power of two (not produced by GetInts) are dropped.
+func PutInts(s []int) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	if cls := sliceClass(c); cls >= 0 {
+		intPools[cls].Put(s[:0]) //nolint:staticcheck // slice header boxing is accepted
+	}
+}
+
+// GetFloats returns a zeroed length-n float64 slice from the
+// capacity-class pool. Pair with PutFloats.
+func GetFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := sliceClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if s, _ := floatPools[c].Get().([]float64); s != nil {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats returns s to its capacity-class pool; see PutInts.
+func PutFloats(s []float64) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	if cls := sliceClass(c); cls >= 0 {
+		floatPools[cls].Put(s[:0]) //nolint:staticcheck // slice header boxing is accepted
+	}
+}

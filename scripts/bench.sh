@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Hot-path benchmark harness: runs the tape-vs-infer, batch-compile and
+# audit benchmarks with allocation reporting and writes a JSON snapshot
+# to BENCH_infer.json (ns/op, B/op, allocs/op per benchmark).
+#
+# Usage: scripts/bench.sh [benchtime]   (default 200x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-200x}"
+OUT="BENCH_infer.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (benchtime=$BENCHTIME)"
+go test -run 'XXX-none' -bench 'BenchmarkScoreTapeVsInfer|BenchmarkHAGScoreTapeVsInfer|BenchmarkBatchCompile|BenchmarkAuditHotPath|BenchmarkFeatureFanout' \
+    -benchtime "$BENCHTIME" -benchmem \
+    ./internal/gnn/ ./internal/hag/ ./internal/server/ | tee "$RAW"
+
+# Parse `BenchmarkX-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 8 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    names[n] = name
+    iters[n] = $2
+    nsop[n] = $3
+    bop[n] = $5
+    allocs[n] = $7
+    n++
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], iters[i], nsop[i], bop[i], allocs[i], (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -20,11 +20,14 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / resilience / server incl. chaos / telemetry incl. trace ring)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/...
+echo "== go test -race (graph / bn / resilience / server incl. chaos / telemetry incl. trace ring / tape-free infer)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/...
 
 echo "== /metrics exposition golden test"
 go test -run 'TestExpositionGolden|TestMetricsEndpoint' ./internal/telemetry/... ./internal/server/...
+
+echo "== benchmark smoke (compile + one iteration of each hot-path benchmark)"
+go test -run 'XXX-none' -bench . -benchtime 1x ./internal/gnn/ ./internal/hag/ ./internal/server/
 
 echo "== go test (full tier-1)"
 go test ./...
