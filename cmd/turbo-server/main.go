@@ -11,6 +11,16 @@
 //	curl 'localhost:8080/predict?uid=42'
 //	curl localhost:8080/latency
 //
+// With -data.dir the state is durable: ingested events are write-ahead
+// logged, the BN is checkpointed periodically, and every trained model
+// becomes a versioned artifact. A restart recovers the latest checkpoint,
+// replays the WAL tail and reloads the newest model instead of
+// retraining:
+//
+//	turbo-server -preset tiny -data.dir /var/lib/turbo
+//	kill -9 <pid>; turbo-server -preset tiny -data.dir /var/lib/turbo
+//	# → "recovered: checkpoint lsn=…, replayed N events" and the same BN
+//
 // Chaos demo — inject a total feature outage and watch audits degrade
 // instead of failing:
 //
@@ -18,7 +28,8 @@
 //	curl 'localhost:8080/predict?uid=0'   # 200, "served_by":"fallback"/"prior"
 //	curl localhost:8080/stats             # served_by counters, breaker state
 //
-// The server drains gracefully on SIGINT/SIGTERM.
+// The server drains gracefully on SIGINT/SIGTERM, writing a final
+// checkpoint when -data.dir is set.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,7 +51,9 @@ import (
 	"turbo/internal/core"
 	"turbo/internal/datagen"
 	"turbo/internal/eval"
+	"turbo/internal/gnn"
 	"turbo/internal/graph"
+	"turbo/internal/persist"
 	"turbo/internal/resilience"
 	"turbo/internal/server"
 	"turbo/internal/tensor"
@@ -54,6 +68,13 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = harness default)")
 	threshold := flag.Float64("threshold", 0.85, "online fraud threshold (§VI-E uses 0.85)")
 	advanceEvery := flag.Duration("advance-every", 10*time.Second, "BN window-job scheduler period")
+
+	// Durable state (all off unless -data.dir is set).
+	dataDir := flag.String("data.dir", "", "data directory for the WAL, checkpoints and model artifacts (empty = memory-only)")
+	walFsync := flag.String("wal.fsync", "interval", "WAL fsync policy: always, interval, none")
+	walFsyncInterval := flag.Duration("wal.fsync-interval", 100*time.Millisecond, "background fsync period under -wal.fsync=interval")
+	walSegmentSize := flag.Int64("wal.segment-size", 16<<20, "WAL segment rotation size in bytes")
+	checkpointInterval := flag.Duration("checkpoint.interval", time.Minute, "period between full-state checkpoints")
 
 	// Resilience posture.
 	maxInFlight := flag.Int("max-inflight", 256, "concurrent audit cap; excess load is shed with 429 (0 = unbounded)")
@@ -103,24 +124,11 @@ func main() {
 		h.Epochs = *epochs
 	}
 
-	log.Printf("assembling %q and training HAG…", cfg.Name)
+	// The dataset is always assembled: it provides the feature profiles
+	// (which are derived data, not journaled) and the training corpus for
+	// the first boot and for retrains.
+	log.Printf("assembling %q…", cfg.Name)
 	a := eval.Assemble(cfg, eval.AssembleOptions{})
-	model, _ := eval.TrainHAG(a, eval.HAGFull, h, 1)
-	log.Printf("trained on %d nodes / %d edges", a.Graph.NumNodes(), a.Graph.NumEdges())
-
-	// Tier-2 fallback: logistic regression over the same normalized
-	// feature rows HAG consumes, fitted on the training split. When the
-	// graph or feature fan-out cannot answer in budget, this scores the
-	// target user's own vector.
-	fbX := tensor.New(len(a.TrainIdx), a.X.Cols)
-	fbY := make([]float64, len(a.TrainIdx))
-	for i, idx := range a.TrainIdx {
-		copy(fbX.Row(i), a.X.Row(idx))
-		fbY[i] = a.Labels[idx]
-	}
-	fallback := &baselines.LogisticRegression{Balance: true}
-	fallback.Fit(fbX, fbY)
-	log.Printf("trained LR fallback on %d rows", fbX.Rows)
 
 	sys, err := core.New(core.Config{
 		Threshold: *threshold,
@@ -134,12 +142,121 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.SetModel(model, a.Norm.Apply)
-	sys.IngestBatch(a.Data.Logs)
-	for i := range a.Data.Users {
-		u := &a.Data.Users[i]
-		if err := sys.RegisterApplication(u.ID, u.Features()); err != nil {
+
+	// Durable state: open the WAL + checkpoint manager and the model
+	// artifact store, then recover whatever a previous process left.
+	var journal *persist.Manager
+	var modelStore *persist.ModelStore
+	recovered := false
+	if *dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("-wal.fsync: %v", err)
+		}
+		journal, err = persist.Open(persist.Config{
+			Dir:           *dataDir,
+			SegmentSize:   *walSegmentSize,
+			Fsync:         policy,
+			FsyncInterval: *walFsyncInterval,
+			Logf:          log.Printf,
+		})
+		if err != nil {
 			log.Fatal(err)
+		}
+		modelStore, err = persist.NewModelStore(filepath.Join(*dataDir, "models"), log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.AttachPersistence(journal)
+		rs, err := sys.Recover()
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		recovered = rs.CheckpointLoaded || rs.ReplayedLogs+rs.ReplayedTxns > 0
+		if recovered {
+			log.Printf("recovered: checkpoint=%v (lsn=%d), replayed %d logs + %d txns, %d corrupt records dropped",
+				rs.CheckpointLoaded, rs.CheckpointLSN, rs.ReplayedLogs, rs.ReplayedTxns, rs.CorruptRecords)
+		} else {
+			log.Printf("data dir %s is fresh; seeding from %q", *dataDir, cfg.Name)
+		}
+	}
+
+	// Model: prefer the newest persisted artifact (bitwise the weights
+	// that were serving before the restart); train from scratch only when
+	// none exists.
+	var model gnn.Model
+	var normalizer func([]float64) []float64
+	var fallback *baselines.LogisticRegression
+	loadedArtifact := false
+	if modelStore != nil {
+		lm, err := modelStore.LoadLatest()
+		switch {
+		case err == nil:
+			model = lm.Model
+			norm := &eval.Normalizer{Mean: lm.NormMean, Std: lm.NormStd}
+			normalizer = norm.Apply
+			fallback = lm.Fallback
+			loadedArtifact = true
+			log.Printf("loaded model artifact v%d (%s, %d params, checksum %s)",
+				lm.Manifest.Version, lm.Manifest.Kind, lm.Manifest.Params, lm.Manifest.Checksum)
+		case errors.Is(err, persist.ErrNoArtifact):
+			log.Printf("no model artifact yet; training")
+		default:
+			log.Fatalf("model artifacts: %v", err)
+		}
+	}
+	if model == nil {
+		log.Printf("training HAG…")
+		model, _ = eval.TrainHAG(a, eval.HAGFull, h, 1)
+		normalizer = a.Norm.Apply
+		log.Printf("trained on %d nodes / %d edges", a.Graph.NumNodes(), a.Graph.NumEdges())
+	}
+	if fallback == nil {
+		// Tier-2 fallback: logistic regression over the same normalized
+		// feature rows HAG consumes, fitted on the training split. When the
+		// graph or feature fan-out cannot answer in budget, this scores the
+		// target user's own vector.
+		fbX := tensor.New(len(a.TrainIdx), a.X.Cols)
+		fbY := make([]float64, len(a.TrainIdx))
+		for i, idx := range a.TrainIdx {
+			copy(fbX.Row(i), a.X.Row(idx))
+			fbY[i] = a.Labels[idx]
+		}
+		fallback = &baselines.LogisticRegression{Balance: true}
+		fallback.Fit(fbX, fbY)
+		log.Printf("trained LR fallback on %d rows", fbX.Rows)
+	}
+	sys.SetModel(model, normalizer)
+	if modelStore != nil && !loadedArtifact {
+		man, err := modelStore.Save(model, persist.Extras{
+			NormMean: a.Norm.Mean, NormStd: a.Norm.Std, Fallback: fallback,
+		})
+		if err != nil {
+			log.Printf("persisting model artifact: %v", err)
+			sys.Telemetry().ArtifactSaved(false)
+		} else {
+			log.Printf("persisted model artifact v%d (%s)", man.Version, man.Kind)
+			sys.Telemetry().ArtifactSaved(true)
+		}
+	}
+
+	// Data: a fresh instance journals the seed history through the WAL; a
+	// recovered one already holds it and only needs the derived feature
+	// profiles re-installed.
+	if recovered {
+		for i := range a.Data.Users {
+			u := &a.Data.Users[i]
+			if err := sys.Features().PutProfile(u.ID, u.Features()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		sys.IngestBatch(a.Data.Logs)
+		for i := range a.Data.Users {
+			u := &a.Data.Users[i]
+			if err := sys.RegisterApplication(u.ID, u.Features()); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	sys.Advance(a.Data.End.Add(48 * time.Hour))
@@ -192,6 +309,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Model management: /admin/retrain runs one pass on demand; every
+	// accepted retrain is persisted as the next artifact version.
+	trainFn := func() (gnn.Model, func([]float64) []float64, error) {
+		m, _ := eval.TrainHAG(a, eval.HAGFull, h, 1)
+		return m, a.Norm.Apply, nil
+	}
+	mgr := server.NewModelManager(pred, trainFn)
+	if modelStore != nil {
+		mgr.SetArtifacts(modelStore, func() persist.Extras {
+			return persist.Extras{NormMean: a.Norm.Mean, NormStd: a.Norm.Std, Fallback: fallback}
+		})
+	}
+
 	// The scheduler tick: window jobs run in parallel to predictions.
 	go func() {
 		ticker := time.NewTicker(*advanceEvery)
@@ -205,6 +335,18 @@ func main() {
 			}
 		}
 	}()
+
+	// The background checkpointer: periodic full-state checkpoints, plus
+	// a final one when the context is cancelled.
+	checkpointerDone := make(chan struct{})
+	if journal != nil {
+		go func() {
+			defer close(checkpointerDone)
+			journal.Run(ctx, *checkpointInterval)
+		}()
+	} else {
+		close(checkpointerDone)
+	}
 
 	// Optional pprof endpoint on its own listener, so profiling traffic
 	// never rides the audit port.
@@ -225,6 +367,19 @@ func main() {
 
 	api := sys.API()
 	api.ErrorLog = log.Default()
+	api.Admin.Retrain = mgr.RetrainOnce
+	if journal != nil {
+		api.Admin.Checkpoint = func() (persist.CheckpointInfo, error) {
+			info, err := journal.CheckpointNow()
+			if err == nil {
+				log.Printf("checkpoint: lsn=%d %dB in %v (%d segments truncated)",
+					info.LSN, info.Bytes, info.Took, info.TruncatedSegments)
+			}
+			return info, err
+		}
+	}
+	// State is rebuilt and the model is loaded — flip readiness last.
+	api.SetReady(true)
 	srv := &http.Server{Addr: *addr, Handler: api}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -237,12 +392,18 @@ func main() {
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight audits for up
-	// to the drain budget, then exit.
+	// to the drain budget, then persist the final state and exit.
 	log.Printf("signal received, draining for up to %v…", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	if journal != nil {
+		<-checkpointerDone // the checkpointer's final checkpoint
+		if err := journal.Close(); err != nil {
+			log.Printf("closing wal: %v", err)
+		}
 	}
 	log.Printf("drained; bye")
 }

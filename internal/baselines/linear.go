@@ -83,6 +83,19 @@ func (m *LogisticRegression) Fit(x *tensor.Matrix, y []float64) {
 	}
 }
 
+// Weights returns a copy of the fitted coefficients and the intercept,
+// so the model can be serialized (internal/persist model artifacts).
+func (m *LogisticRegression) Weights() ([]float64, float64) {
+	return append([]float64(nil), m.w...), m.b
+}
+
+// SetWeights installs previously fitted coefficients, making the model
+// usable without calling Fit (artifact restore).
+func (m *LogisticRegression) SetWeights(w []float64, b float64) {
+	m.w = append([]float64(nil), w...)
+	m.b = b
+}
+
 // PredictProba implements Classifier.
 func (m *LogisticRegression) PredictProba(x *tensor.Matrix) []float64 {
 	out := make([]float64, x.Rows)

@@ -2,9 +2,12 @@ package behavior
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // WriteJSONL streams logs to w as one JSON object per line, the on-disk
@@ -18,6 +21,77 @@ func WriteJSONL(w io.Writer, logs []Log) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Binary log codec — the fixed-layout little-endian encoding used as the
+// WAL payload format by internal/persist:
+//
+//	u8  version (currently 1)
+//	u32 user id
+//	u8  behavior type
+//	i64 unix nanoseconds of the log time
+//	u16 value length
+//	    value bytes
+//
+// The decoder is defensive: it validates the version, the behavior type
+// and every length against the input and returns an error instead of
+// panicking on arbitrary (possibly torn or corrupted) bytes.
+
+// binVersion is the binary log encoding version.
+const binVersion = 1
+
+// binHeaderLen is the fixed prefix before the value bytes.
+const binHeaderLen = 1 + 4 + 1 + 8 + 2
+
+// MaxValueLen is the longest behavior value the binary codec can frame
+// (a u16 length prefix).
+const MaxValueLen = 1<<16 - 1
+
+// ErrValueTooLong marks a log whose value exceeds MaxValueLen.
+var ErrValueTooLong = errors.New("behavior: value exceeds binary codec limit")
+
+// EncodeBinary appends the binary encoding of l to buf and returns the
+// extended slice. It fails only when the value cannot be framed.
+func (l Log) EncodeBinary(buf []byte) ([]byte, error) {
+	if len(l.Value) > MaxValueLen {
+		return buf, fmt.Errorf("%w: %d bytes", ErrValueTooLong, len(l.Value))
+	}
+	if !l.Type.Valid() {
+		return buf, fmt.Errorf("behavior: encode: invalid type %d", l.Type)
+	}
+	buf = append(buf, binVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.User))
+	buf = append(buf, byte(l.Type))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Time.UnixNano()))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(l.Value)))
+	return append(buf, l.Value...), nil
+}
+
+// DecodeBehavior parses one binary-encoded log. It never panics: any
+// truncated, oversized or invalid input returns an error. Trailing bytes
+// after the framed value are rejected, so a WAL payload is exactly one
+// log.
+func DecodeBehavior(b []byte) (Log, error) {
+	if len(b) < binHeaderLen {
+		return Log{}, fmt.Errorf("behavior: decode: %d bytes, want at least %d", len(b), binHeaderLen)
+	}
+	if b[0] != binVersion {
+		return Log{}, fmt.Errorf("behavior: decode: unknown version %d", b[0])
+	}
+	l := Log{
+		User: UserID(binary.LittleEndian.Uint32(b[1:5])),
+		Type: Type(b[5]),
+		Time: time.Unix(0, int64(binary.LittleEndian.Uint64(b[6:14]))),
+	}
+	if !l.Type.Valid() {
+		return Log{}, fmt.Errorf("behavior: decode: invalid type %d", b[5])
+	}
+	n := int(binary.LittleEndian.Uint16(b[14:16]))
+	if len(b) != binHeaderLen+n {
+		return Log{}, fmt.Errorf("behavior: decode: value length %d but %d payload bytes", n, len(b)-binHeaderLen)
+	}
+	l.Value = string(b[binHeaderLen : binHeaderLen+n])
+	return l, nil
 }
 
 // ReadJSONL parses logs written by WriteJSONL.

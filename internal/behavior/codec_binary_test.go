@@ -1,0 +1,69 @@
+package behavior
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBinaryCodecRoundtrip(t *testing.T) {
+	logs := []Log{
+		{User: 1, Type: DeviceID, Value: "dev-42", Time: time.Unix(1546300800, 123456789)},
+		{User: 4294967295, Type: GPSDev100, Value: "", Time: time.Unix(0, 0)},
+		{User: 7, Type: WiFiMAC, Value: strings.Repeat("x", MaxValueLen), Time: time.Unix(0, -5)},
+	}
+	var buf []byte
+	for i, want := range logs {
+		var err error
+		buf, err = want.EncodeBinary(buf[:0])
+		if err != nil {
+			t.Fatalf("log %d: %v", i, err)
+		}
+		got, err := DecodeBehavior(buf)
+		if err != nil {
+			t.Fatalf("log %d: %v", i, err)
+		}
+		if got.User != want.User || got.Type != want.Type || got.Value != want.Value || !got.Time.Equal(want.Time) {
+			t.Fatalf("log %d: %+v round-tripped to %+v", i, want, got)
+		}
+	}
+}
+
+func TestBinaryCodecEncodeRejects(t *testing.T) {
+	if _, err := (Log{Type: DeviceID, Value: strings.Repeat("x", MaxValueLen+1)}).EncodeBinary(nil); !errors.Is(err, ErrValueTooLong) {
+		t.Fatalf("oversized value: %v", err)
+	}
+	if _, err := (Log{Type: Type(200), Value: "v"}).EncodeBinary(nil); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+func TestBinaryCodecDecodeRejectsCorruption(t *testing.T) {
+	good, err := Log{User: 3, Type: IPv4, Value: "10.0.0.1", Time: time.Unix(100, 0)}.EncodeBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:binHeaderLen-1],
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0xee),
+		"bad version":    append([]byte{99}, good[1:]...),
+		"bad type": func() []byte {
+			b := append([]byte{}, good...)
+			b[5] = 250
+			return b
+		}(),
+		"length overrun": func() []byte {
+			b := append([]byte{}, good...)
+			b[14], b[15] = 0xff, 0xff
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := DecodeBehavior(b); err == nil {
+			t.Fatalf("%s: corrupt input accepted", name)
+		}
+	}
+}

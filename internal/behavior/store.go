@@ -181,6 +181,26 @@ func rangeScan(logs []Log, from, to time.Time) []Log {
 	return append([]Log(nil), logs[lo:hi]...)
 }
 
+// Dump returns a full copy of the store's logs, grouped by user in
+// ascending user order with each user's logs in time order. The ordering
+// is deterministic and AppendBatch-stable, so a checkpointed store
+// restored via AppendBatch reproduces the original per-user log order
+// exactly (internal/persist relies on this).
+func (s *Store) Dump() []Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	users := make([]UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	out := make([]Log, 0, s.count)
+	for _, u := range users {
+		out = append(out, s.byUser[u]...)
+	}
+	return out
+}
+
 // DropBefore removes all logs older than cutoff and returns how many
 // were removed. It keeps the store bounded for long-running servers.
 func (s *Store) DropBefore(cutoff time.Time) int {

@@ -248,6 +248,26 @@ func dedupUsers(us []behavior.UserID) []behavior.UserID {
 // i-th window, useful for scheduling and tests.
 func (b *Builder) NextEpochStart(i int) time.Time { return b.nextEpoch[i] }
 
+// NextEpochs returns a copy of the per-window next-unprocessed-epoch
+// starts, in window order — the builder's scheduling state, captured by
+// durable checkpoints so a recovered server resumes window jobs exactly
+// where the crashed one left off. Callers must not run Advance
+// concurrently.
+func (b *Builder) NextEpochs() []time.Time {
+	return append([]time.Time(nil), b.nextEpoch...)
+}
+
+// RestoreNextEpochs overwrites the per-window scheduling state with a
+// checkpointed copy (boot-time recovery only; not safe concurrently with
+// Advance). The slice length must match the window hierarchy.
+func (b *Builder) RestoreNextEpochs(ts []time.Time) error {
+	if len(ts) != len(b.nextEpoch) {
+		return fmt.Errorf("bn: restore: %d epoch cursors for %d windows", len(ts), len(b.nextEpoch))
+	}
+	copy(b.nextEpoch, ts)
+	return nil
+}
+
 func distinctUsers(logs []behavior.Log) []behavior.UserID {
 	seen := make(map[behavior.UserID]struct{}, len(logs))
 	var users []behavior.UserID

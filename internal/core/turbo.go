@@ -13,6 +13,7 @@ import (
 	"turbo/internal/bn"
 	"turbo/internal/feature"
 	"turbo/internal/gnn"
+	"turbo/internal/persist"
 	"turbo/internal/server"
 )
 
@@ -62,6 +63,22 @@ func New(cfg Config, t0 time.Time) (*System, error) {
 	feats := feature.NewService(cfg.Feature, bnServer.Store())
 	bnServer.SetTelemetry(server.NewTelemetry(cfg.Telemetry))
 	return &System{cfg: cfg, bn: bnServer, feats: feats}, nil
+}
+
+// AttachPersistence installs a durable-state manager: every subsequent
+// ingest and transaction is write-ahead-logged, checkpoints capture the
+// BN server's full state, and the telemetry registry gains the
+// WAL/checkpoint metric family. Call before ingesting.
+func (s *System) AttachPersistence(m *persist.Manager) {
+	s.bn.SetJournal(m)
+	s.Telemetry().WirePersist(m)
+}
+
+// Recover rebuilds the BN server from the attached persistence manager
+// (latest checkpoint + WAL tail) and republishes the read snapshot. Run
+// on a fresh system before any ingestion.
+func (s *System) Recover() (persist.RecoveryStats, error) {
+	return s.bn.Recover()
 }
 
 // SetModel attaches the trained classification model and the feature

@@ -81,6 +81,10 @@ func NewGCN(cfg Config) *GCN {
 // Name implements Model.
 func (m *GCN) Name() string { return "GCN" }
 
+// Config returns the effective configuration (model artifacts rebuild
+// the architecture from it before loading weights).
+func (m *GCN) Config() Config { return m.cfg }
+
 // Parameters implements nn.Module.
 func (m *GCN) Parameters() []*nn.Parameter {
 	var ps []*nn.Parameter
@@ -126,6 +130,9 @@ func NewGraphSAGE(cfg Config) *GraphSAGE {
 
 // Name implements Model.
 func (m *GraphSAGE) Name() string { return "G-SAGE" }
+
+// Config returns the effective configuration.
+func (m *GraphSAGE) Config() Config { return m.cfg }
 
 // Parameters implements nn.Module.
 func (m *GraphSAGE) Parameters() []*nn.Parameter {
@@ -202,6 +209,9 @@ func NewGAT(cfg Config) *GAT {
 
 // Name implements Model.
 func (m *GAT) Name() string { return "GAT" }
+
+// Config returns the effective configuration.
+func (m *GAT) Config() Config { return m.cfg }
 
 // Parameters implements nn.Module.
 func (m *GAT) Parameters() []*nn.Parameter {

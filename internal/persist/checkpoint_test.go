@@ -1,0 +1,146 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/graph"
+)
+
+func sampleState(lsn uint64) *State {
+	t0 := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &State{
+		CapturedAt:   t0.Add(90 * time.Minute),
+		WALLSN:       lsn,
+		NumEdgeTypes: 3,
+		Nodes:        []graph.NodeID{1, 2, 3},
+		Edges: []graph.Edge{
+			{Type: 0, U: 1, V: 2, Weight: 1.5, ExpireAt: t0.Add(60 * 24 * time.Hour)},
+			{Type: 2, U: 2, V: 3, Weight: 0.25, ExpireAt: t0.Add(61 * 24 * time.Hour)},
+		},
+		NextEpochs: []time.Time{t0.Add(time.Hour), t0.Add(12 * time.Hour)},
+		TxnUsers:   []behavior.UserID{1, 3},
+		Logs: []behavior.Log{
+			{User: 1, Type: behavior.WiFiMAC, Value: "ap-1", Time: t0.Add(5 * time.Minute)},
+			{User: 2, Type: behavior.WiFiMAC, Value: "ap-1", Time: t0.Add(6 * time.Minute)},
+		},
+	}
+}
+
+// statesEqual compares two States field by field; time.Time must be
+// compared with Equal because gob drops monotonic clocks and locations.
+func statesEqual(t *testing.T, got, want *State) {
+	t.Helper()
+	if !got.CapturedAt.Equal(want.CapturedAt) {
+		t.Fatalf("CapturedAt %v want %v", got.CapturedAt, want.CapturedAt)
+	}
+	if got.WALLSN != want.WALLSN || got.NumEdgeTypes != want.NumEdgeTypes {
+		t.Fatalf("scalar fields %d/%d want %d/%d", got.WALLSN, got.NumEdgeTypes, want.WALLSN, want.NumEdgeTypes)
+	}
+	if !reflect.DeepEqual(got.Nodes, want.Nodes) || !reflect.DeepEqual(got.TxnUsers, want.TxnUsers) {
+		t.Fatalf("nodes/txn mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("edges %d want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range got.Edges {
+		g, w := got.Edges[i], want.Edges[i]
+		if g.Type != w.Type || g.U != w.U || g.V != w.V || g.Weight != w.Weight || !g.ExpireAt.Equal(w.ExpireAt) {
+			t.Fatalf("edge %d: %+v want %+v", i, g, w)
+		}
+	}
+	if len(got.NextEpochs) != len(want.NextEpochs) {
+		t.Fatalf("epochs %d want %d", len(got.NextEpochs), len(want.NextEpochs))
+	}
+	for i := range got.NextEpochs {
+		if !got.NextEpochs[i].Equal(want.NextEpochs[i]) {
+			t.Fatalf("epoch %d: %v want %v", i, got.NextEpochs[i], want.NextEpochs[i])
+		}
+	}
+	if len(got.Logs) != len(want.Logs) {
+		t.Fatalf("logs %d want %d", len(got.Logs), len(want.Logs))
+	}
+	for i := range got.Logs {
+		g, w := got.Logs[i], want.Logs[i]
+		if g.User != w.User || g.Type != w.Type || g.Value != w.Value || !g.Time.Equal(w.Time) {
+			t.Fatalf("log %d: %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleState(42)
+	path, n, err := writeCheckpoint(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || filepath.Base(path) != ckptName(42) {
+		t.Fatalf("path %q bytes %d", path, n)
+	}
+	got, err := readCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, got, want)
+}
+
+func TestLoadLatestCheckpointSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := writeCheckpoint(dir, sampleState(10)); err != nil {
+		t.Fatal(err)
+	}
+	newer, _, err := writeCheckpoint(dir, sampleState(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint's payload.
+	b, err := os.ReadFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(newer, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned bool
+	st, err := loadLatestCheckpoint(dir, func(string, ...any) { warned = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.WALLSN != 10 {
+		t.Fatalf("fell back to %+v, want LSN 10", st)
+	}
+	if !warned {
+		t.Fatal("corrupt checkpoint skipped silently")
+	}
+}
+
+func TestLoadLatestCheckpointEmptyDir(t *testing.T) {
+	st, err := loadLatestCheckpoint(filepath.Join(t.TempDir(), "missing"), nil)
+	if err != nil || st != nil {
+		t.Fatalf("got %+v, %v; want nil, nil", st, err)
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	for _, lsn := range []uint64{5, 10, 15, 20} {
+		if _, _, err := writeCheckpoint(dir, sampleState(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruneCheckpoints(dir, 2, nil)
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 2 || cks[0].lsn != 15 || cks[1].lsn != 20 {
+		t.Fatalf("kept %+v, want LSNs 15 and 20", cks)
+	}
+}

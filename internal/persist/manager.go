@@ -1,0 +1,331 @@
+package persist
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"turbo/internal/behavior"
+)
+
+// Applier is the state the Manager journals and recovers — implemented
+// by server.BNServer. RestoreCheckpoint installs a full checkpoint;
+// ReplayLog and ReplayTxn re-apply single WAL records (without
+// re-journaling them).
+type Applier interface {
+	RestoreCheckpoint(st *State) error
+	ReplayLog(l behavior.Log)
+	ReplayTxn(u behavior.UserID)
+}
+
+// Manager ties the WAL and the checkpoint store together around one
+// invariant: under m.mu, a WAL append and its in-memory application are
+// one atomic step, and a checkpoint capture reads the state together
+// with the exact LSN it reflects. So a checkpoint never misses an event
+// that is absent from the WAL tail, and never includes one the WAL would
+// replay again — recovery applies every event exactly once.
+//
+// WAL append failures do not block ingestion: the in-memory state still
+// advances, the loss of durability for that event is logged and counted
+// (Metrics.AppendErrors).
+type Manager struct {
+	cfg  Config
+	wal  *WAL
+	logf func(string, ...any)
+
+	mu     sync.Mutex
+	source func() *State
+	buf    []byte // reused append scratch
+
+	ckptMu   sync.Mutex // serializes CheckpointNow
+	lastCkpt struct {
+		sync.Mutex
+		lsn uint64
+		at  time.Time
+	}
+
+	metrics Metrics
+}
+
+// Open initializes the data directory (creating wal/ and checkpoints/)
+// and opens the WAL, truncating any torn tail left by a crash.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("persist: Config.Dir is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: data dir: %w", err)
+	}
+	wal, err := openWAL(filepath.Join(cfg.Dir, "wal"), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, wal: wal, logf: logf}, nil
+}
+
+// SetMetrics installs telemetry handles (any field may be nil) on the
+// manager and its WAL. Call before ingestion starts.
+func (m *Manager) SetMetrics(mt Metrics) {
+	m.metrics = mt
+	m.wal.metrics = mt
+}
+
+// SetSource installs the state-capture callback used by CheckpointNow.
+// The callback runs under m.mu, so it observes a state exactly
+// consistent with the WAL position.
+func (m *Manager) SetSource(fn func() *State) {
+	m.mu.Lock()
+	m.source = fn
+	m.mu.Unlock()
+}
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.cfg.Dir }
+
+// WAL exposes the underlying log (tests and benchmarks).
+func (m *Manager) WAL() *WAL { return m.wal }
+
+// AppendLog journals one behavior log and then runs apply (the
+// in-memory ingestion) under the same lock. apply always runs, even
+// when the journal write fails.
+func (m *Manager) AppendLog(l behavior.Log, apply func()) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	m.buf, err = l.EncodeBinary(m.buf[:0])
+	if err == nil {
+		_, err = m.wal.Append(RecordLog, m.buf)
+	}
+	m.noteAppendErr(err)
+	apply()
+	return err
+}
+
+// AppendLogBatch journals a batch of logs as consecutive records (one
+// fsync under FsyncAlways) and then runs apply.
+func (m *Manager) AppendLogBatch(logs []behavior.Log, apply func()) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := make([]byte, 0, len(logs))
+	payloads := make([][]byte, 0, len(logs))
+	var err error
+	for _, l := range logs {
+		p, encErr := l.EncodeBinary(nil)
+		if encErr != nil {
+			err = encErr
+			continue
+		}
+		kinds = append(kinds, RecordLog)
+		payloads = append(payloads, p)
+	}
+	if len(kinds) > 0 {
+		if _, aerr := m.wal.AppendBatch(kinds, payloads); aerr != nil {
+			err = aerr
+		}
+	}
+	m.noteAppendErr(err)
+	apply()
+	return err
+}
+
+// AppendTxn journals one transaction registration and runs apply.
+func (m *Manager) AppendTxn(u behavior.UserID, apply func()) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	payload := binary.LittleEndian.AppendUint32(nil, uint32(u))
+	_, err := m.wal.Append(RecordTxn, payload)
+	m.noteAppendErr(err)
+	apply()
+	return err
+}
+
+func (m *Manager) noteAppendErr(err error) {
+	if err == nil {
+		return
+	}
+	inc(m.metrics.AppendErrors)
+	m.logf("persist: wal append failed (event applied in memory, durability lost): %v", err)
+}
+
+// RecoveryStats summarizes one Recover pass.
+type RecoveryStats struct {
+	// CheckpointLoaded reports whether a checkpoint was restored;
+	// CheckpointLSN is its WAL position.
+	CheckpointLoaded bool
+	CheckpointLSN    uint64
+	// ReplayedLogs and ReplayedTxns count WAL records re-applied.
+	ReplayedLogs int
+	ReplayedTxns int
+	// CorruptRecords counts WAL records dropped as torn or corrupt
+	// during replay (plus undecodable payloads).
+	CorruptRecords int
+	// LastLSN is the WAL position after recovery.
+	LastLSN uint64
+}
+
+// Recover rebuilds app from disk: newest valid checkpoint first, then
+// the WAL tail (records with LSN beyond the checkpoint). Corrupt WAL
+// payloads are skipped with a warning, never an error — losing the torn
+// tail of the last segment is the expected crash shape.
+func (m *Manager) Recover(app Applier) (RecoveryStats, error) {
+	var rs RecoveryStats
+	st, err := loadLatestCheckpoint(m.checkpointDir(), m.logf)
+	if err != nil {
+		return rs, err
+	}
+	var after uint64
+	if st != nil {
+		if err := app.RestoreCheckpoint(st); err != nil {
+			return rs, fmt.Errorf("persist: restore checkpoint: %w", err)
+		}
+		rs.CheckpointLoaded = true
+		rs.CheckpointLSN = st.WALLSN
+		after = st.WALLSN
+		m.lastCkpt.Lock()
+		m.lastCkpt.lsn = st.WALLSN
+		m.lastCkpt.at = st.CapturedAt
+		m.lastCkpt.Unlock()
+	}
+	replay, err := m.wal.Replay(after, func(lsn uint64, kind byte, payload []byte) error {
+		switch kind {
+		case RecordLog:
+			l, err := behavior.DecodeBehavior(payload)
+			if err != nil {
+				rs.CorruptRecords++
+				m.logf("persist: recovery: dropping undecodable log record lsn=%d: %v", lsn, err)
+				return nil
+			}
+			app.ReplayLog(l)
+			rs.ReplayedLogs++
+		case RecordTxn:
+			if len(payload) != 4 {
+				rs.CorruptRecords++
+				m.logf("persist: recovery: dropping malformed txn record lsn=%d (%d bytes)", lsn, len(payload))
+				return nil
+			}
+			app.ReplayTxn(behavior.UserID(binary.LittleEndian.Uint32(payload)))
+			rs.ReplayedTxns++
+		default:
+			rs.CorruptRecords++
+			m.logf("persist: recovery: dropping record lsn=%d of unknown kind %d", lsn, kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return rs, err
+	}
+	rs.CorruptRecords += replay.Corrupt
+	rs.LastLSN = m.wal.LastLSN()
+	add(m.metrics.Replayed, int64(rs.ReplayedLogs+rs.ReplayedTxns))
+	add(m.metrics.CorruptRecords, int64(rs.CorruptRecords))
+	return rs, nil
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	// LSN is the WAL position the checkpoint covers.
+	LSN uint64
+	// Path and Bytes locate and size the written file.
+	Path  string
+	Bytes int64
+	// Took is capture + write + truncation time.
+	Took time.Duration
+	// TruncatedSegments is how many covered WAL segments were deleted.
+	TruncatedSegments int
+}
+
+func (m *Manager) checkpointDir() string { return filepath.Join(m.cfg.Dir, "checkpoints") }
+
+// CheckpointNow captures the current state (under the append lock, so
+// the snapshot is exact), writes it atomically, truncates WAL segments
+// it covers and prunes old checkpoint files. Concurrent calls are
+// serialized; appends are only blocked during the in-memory capture,
+// not during the disk write.
+func (m *Manager) CheckpointNow() (CheckpointInfo, error) {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	start := time.Now()
+
+	m.mu.Lock()
+	source := m.source
+	if source == nil {
+		m.mu.Unlock()
+		return CheckpointInfo{}, fmt.Errorf("persist: no checkpoint source installed")
+	}
+	st := source()
+	st.WALLSN = m.wal.LastLSN()
+	m.mu.Unlock()
+
+	if st.CapturedAt.IsZero() {
+		st.CapturedAt = start
+	}
+	// The WAL tail up to the cut must be durable before the checkpoint
+	// claims to cover it (TruncateBefore deletes those records).
+	if err := m.wal.Sync(); err != nil {
+		inc(m.metrics.CheckpointErrors)
+		return CheckpointInfo{}, err
+	}
+	path, n, err := writeCheckpoint(m.checkpointDir(), st)
+	if err != nil {
+		inc(m.metrics.CheckpointErrors)
+		return CheckpointInfo{}, err
+	}
+	removed, err := m.wal.TruncateBefore(st.WALLSN)
+	if err != nil {
+		m.logf("persist: wal truncation after checkpoint: %v", err)
+	}
+	pruneCheckpoints(m.checkpointDir(), m.cfg.KeepCheckpoints, m.logf)
+
+	took := time.Since(start)
+	observe(m.metrics.CheckpointSeconds, took)
+	inc(m.metrics.Checkpoints)
+	m.lastCkpt.Lock()
+	m.lastCkpt.lsn = st.WALLSN
+	m.lastCkpt.at = st.CapturedAt
+	m.lastCkpt.Unlock()
+	return CheckpointInfo{LSN: st.WALLSN, Path: path, Bytes: n, Took: took, TruncatedSegments: removed}, nil
+}
+
+// LastCheckpoint returns the LSN and capture time of the most recent
+// checkpoint (written or recovered); zero values if none.
+func (m *Manager) LastCheckpoint() (uint64, time.Time) {
+	m.lastCkpt.Lock()
+	defer m.lastCkpt.Unlock()
+	return m.lastCkpt.lsn, m.lastCkpt.at
+}
+
+// Run writes a checkpoint every interval until ctx is done, then writes
+// one final checkpoint so a clean shutdown restarts with an empty WAL
+// tail. Errors are logged and counted, never fatal.
+func (m *Manager) Run(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if _, err := m.CheckpointNow(); err != nil {
+				m.logf("persist: final checkpoint: %v", err)
+			}
+			return
+		case <-ticker.C:
+			if _, err := m.CheckpointNow(); err != nil {
+				m.logf("persist: periodic checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close syncs and closes the WAL.
+func (m *Manager) Close() error {
+	return m.wal.Close()
+}

@@ -1,0 +1,186 @@
+package persist
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"turbo/internal/baselines"
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+	"turbo/internal/hag"
+	"turbo/internal/tensor"
+)
+
+func newTestStore(t *testing.T, dir string) *ModelStore {
+	t.Helper()
+	s, err := NewModelStore(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// testBatch builds a tiny deterministic graph, extracts a full subgraph
+// around node 0, and pairs it with a seeded random feature matrix.
+func testBatch(t *testing.T, numTypes, dim int) *gnn.Batch {
+	t.Helper()
+	never := time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	g := graph.New(numTypes)
+	for u := graph.NodeID(0); u < 6; u++ {
+		g.AddNode(u)
+	}
+	edges := [][3]int{{0, 1, 0}, {0, 2, 1}, {1, 3, 0}, {2, 4, 1}, {3, 5, 0}, {0, 5, 1}}
+	for _, e := range edges {
+		et := graph.EdgeType(e[2] % numTypes)
+		if err := g.AddEdgeWeight(et, graph.NodeID(e[0]), graph.NodeID(e[1]), 1.0+float64(e[2]), never); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sg := &graph.Subgraph{
+		Index:      make(map[graph.NodeID]int),
+		TypedEdges: make([][]graph.LocalEdge, g.NumEdgeTypes()),
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		sg.Index[u] = len(sg.Nodes)
+		sg.Nodes = append(sg.Nodes, u)
+		sg.Hops = append(sg.Hops, 0)
+	}
+	for et := 0; et < g.NumEdgeTypes(); et++ {
+		for i, u := range sg.Nodes {
+			for _, nb := range g.NeighborsByType(u, graph.EdgeType(et)) {
+				sg.TypedEdges[et] = append(sg.TypedEdges[et], graph.LocalEdge{
+					Src: i, Dst: sg.Index[nb.Node], Weight: nb.Weight,
+				})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(len(sg.Nodes), dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return gnn.NewBatch(sg, x)
+}
+
+func TestModelStoreRoundtripBitwise(t *testing.T) {
+	const dim, numTypes = 5, 2
+	builders := map[string]func() gnn.Model{
+		"gcn": func() gnn.Model {
+			return gnn.NewGCN(gnn.Config{InDim: dim, Hidden: []int{8, 4}, MLPHidden: 3, Seed: 11})
+		},
+		"graphsage": func() gnn.Model {
+			return gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{8, 4}, MLPHidden: 3, Seed: 12})
+		},
+		"gat": func() gnn.Model {
+			return gnn.NewGAT(gnn.Config{InDim: dim, Hidden: []int{8, 4}, MLPHidden: 3, Heads: 2, Seed: 13})
+		},
+		"hag": func() gnn.Model {
+			return hag.New(hag.Config{InDim: dim, NumEdgeTypes: numTypes, Hidden: []int{8, 4}, AttHidden: 4, MLPHidden: 3, Seed: 14})
+		},
+	}
+	for kind, build := range builders {
+		t.Run(kind, func(t *testing.T) {
+			store := newTestStore(t, t.TempDir())
+			m := build()
+			batch := testBatch(t, numTypes, dim)
+			want := gnn.Scores(m, batch)
+
+			man, err := store.Save(m, Extras{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Kind != kind || man.Version != 1 || man.InDim != dim {
+				t.Fatalf("manifest %+v", man)
+			}
+			lm, err := store.LoadLatest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := gnn.Scores(lm.Model, batch)
+			if len(got) != len(want) {
+				t.Fatalf("score count %d want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] { // bitwise, not within-epsilon
+					t.Fatalf("%s score %d: %v != %v after reload", kind, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestModelStoreExtrasRoundtrip(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	lr := &baselines.LogisticRegression{}
+	lr.SetWeights([]float64{0.5, -1.25, 3e-7}, 0.125)
+	ex := Extras{
+		NormMean: []float64{1, 2, 3},
+		NormStd:  []float64{0.5, 1, 2},
+		Fallback: lr,
+	}
+	m := gnn.NewGCN(gnn.Config{InDim: 3, Hidden: []int{4}, MLPHidden: 2, Seed: 5})
+	if _, err := store.Save(m, ex); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex.NormMean {
+		if lm.NormMean[i] != ex.NormMean[i] || lm.NormStd[i] != ex.NormStd[i] {
+			t.Fatalf("normalizer stats differ at %d", i)
+		}
+	}
+	if lm.Fallback == nil {
+		t.Fatal("fallback dropped")
+	}
+	x := tensor.FromRows([][]float64{{1, 0, 2}, {-3, 4, 0.5}})
+	want := lr.PredictProba(x)
+	got := lm.Fallback.PredictProba(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback proba %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestModelStoreCorruptFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	store := newTestStore(t, dir)
+	m1 := gnn.NewGCN(gnn.Config{InDim: 3, Hidden: []int{4}, MLPHidden: 2, Seed: 5})
+	m2 := gnn.NewGCN(gnn.Config{InDim: 3, Hidden: []int{4}, MLPHidden: 2, Seed: 99})
+	if _, err := store.Save(m1, Extras{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(m2, Extras{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt v2's binary blob.
+	path := filepath.Join(dir, modelName(2))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Manifest.Version != 1 {
+		t.Fatalf("loaded version %d, want fallback to 1", lm.Manifest.Version)
+	}
+}
+
+func TestModelStoreEmpty(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	if _, err := store.LoadLatest(); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("err %v want ErrNoArtifact", err)
+	}
+}

@@ -1,0 +1,479 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WAL segment layout. Every segment starts with a 9-byte header (magic
+// plus format version) and is named wal-<firstLSN hex>.seg, so the
+// covered LSN range is recoverable from directory listing alone. Records
+// are framed as
+//
+//	u32 payload length | u32 CRC32C | u64 LSN | u8 kind | payload
+//
+// with the checksum covering LSN, kind and payload — a flipped bit
+// anywhere in a record fails the frame, and a torn write at the tail
+// fails either the length read or the checksum.
+const (
+	walMagic      = "TURBOWAL"
+	walVersion    = 1
+	walHeaderLen  = len(walMagic) + 1
+	frameOverhead = 4 + 4 + 8 + 1
+	// maxPayload bounds a single record; larger length prefixes are
+	// treated as corruption rather than allocated.
+	maxPayload = 16 << 20
+)
+
+// Record kinds carried in WAL frames.
+const (
+	// RecordLog frames one behavior log (behavior binary codec).
+	RecordLog byte = 1
+	// RecordTxn frames one transaction registration (u32 user id).
+	RecordTxn byte = 2
+)
+
+// WAL is a segmented append-only log. Appends are serialized by an
+// internal mutex; reads (Replay) open their own file handles and may run
+// before appends begin (boot) or on a quiesced WAL.
+type WAL struct {
+	dir      string
+	segSize  int64
+	policy   FsyncPolicy
+	interval time.Duration
+	logf     func(string, ...any)
+
+	mu      sync.Mutex
+	f       *os.File
+	offset  int64
+	nextLSN uint64
+	dirty   bool
+	closed  bool
+
+	// tornBytes is how many trailing bytes of the last segment were
+	// dropped when the WAL was opened (a torn tail from a crash).
+	tornBytes int64
+
+	metrics Metrics
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// segMeta is one on-disk segment.
+type segMeta struct {
+	path     string
+	firstLSN uint64
+}
+
+// segName renders the canonical file name for a segment starting at lsn.
+func segName(lsn uint64) string { return fmt.Sprintf("wal-%016x.seg", lsn) }
+
+// listSegments returns the directory's segments sorted by first LSN.
+func listSegments(dir string) ([]segMeta, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segMeta
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		lsn, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segMeta{path: filepath.Join(dir, name), firstLSN: lsn})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// openWAL opens (or initializes) the WAL under dir. The last segment is
+// scanned to find the next LSN; a torn tail is truncated away so new
+// appends start on a whole-record boundary.
+func openWAL(dir string, cfg Config) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: wal dir: %w", err)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	w := &WAL{
+		dir:      dir,
+		segSize:  cfg.SegmentSize,
+		policy:   cfg.Fsync,
+		interval: cfg.FsyncInterval,
+		logf:     logf,
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal scan: %w", err)
+	}
+	if len(segs) == 0 {
+		if err := w.openSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		next, validEnd, torn, err := scanSegment(last.path, last.firstLSN)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("persist: wal open: %w", err)
+		}
+		if torn > 0 {
+			w.logf("persist: wal: dropping %d torn trailing bytes of %s", torn, filepath.Base(last.path))
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("persist: wal truncate torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: wal seek: %w", err)
+		}
+		w.f = f
+		w.offset = validEnd
+		w.nextLSN = next
+		w.tornBytes = torn
+	}
+	if w.policy == FsyncInterval {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// openSegment creates and activates a fresh segment starting at lsn.
+// w.mu must be held (or the WAL not yet shared).
+func (w *WAL) openSegment(lsn uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(lsn)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: wal segment: %w", err)
+	}
+	hdr := append([]byte(walMagic), walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: wal segment header: %w", err)
+	}
+	if w.f != nil {
+		w.f.Sync()
+		w.f.Close()
+	}
+	w.f = f
+	w.offset = int64(len(hdr))
+	if w.nextLSN < lsn {
+		w.nextLSN = lsn
+	}
+	return nil
+}
+
+// scanSegment walks one segment and returns the LSN after its last valid
+// record, the byte offset where valid data ends, and how many trailing
+// bytes are torn/corrupt.
+func scanSegment(path string, firstLSN uint64) (nextLSN uint64, validEnd int64, torn int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("persist: wal read: %w", err)
+	}
+	if len(b) < walHeaderLen || string(b[:len(walMagic)]) != walMagic || b[len(walMagic)] != walVersion {
+		return 0, 0, 0, fmt.Errorf("persist: %s: bad segment header", filepath.Base(path))
+	}
+	next := firstLSN
+	off := int64(walHeaderLen)
+	for {
+		rec, n, ok := parseFrame(b[off:])
+		if !ok {
+			break
+		}
+		next = rec.lsn + 1
+		off += int64(n)
+	}
+	return next, off, int64(len(b)) - off, nil
+}
+
+// frame is one decoded WAL record.
+type frame struct {
+	lsn     uint64
+	kind    byte
+	payload []byte
+}
+
+// parseFrame decodes the first frame of b, returning the consumed byte
+// count; ok is false on truncation or checksum mismatch.
+func parseFrame(b []byte) (frame, int, bool) {
+	if len(b) < frameOverhead {
+		return frame{}, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if plen > maxPayload || len(b) < frameOverhead+plen {
+		return frame{}, 0, false
+	}
+	want := binary.LittleEndian.Uint32(b[4:8])
+	body := b[8 : frameOverhead+plen] // lsn + kind + payload
+	if crc32.Checksum(body, castagnoli) != want {
+		return frame{}, 0, false
+	}
+	return frame{
+		lsn:     binary.LittleEndian.Uint64(b[8:16]),
+		kind:    b[16],
+		payload: b[frameOverhead : frameOverhead+plen],
+	}, frameOverhead + plen, true
+}
+
+// appendFrame encodes one record onto buf.
+func appendFrame(buf []byte, lsn uint64, kind byte, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	crcAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	bodyAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = append(buf, kind)
+	buf = append(buf, payload...)
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.Checksum(buf[bodyAt:], castagnoli))
+	return buf
+}
+
+// Append writes one record and returns its LSN, rotating and syncing per
+// policy. The caller (the Manager) serializes appends with state
+// application; Append additionally holds the WAL's own mutex against the
+// background fsync loop.
+func (w *WAL) Append(kind byte, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(kind, payload, true)
+}
+
+// AppendBatch writes many records with a single rotation check and a
+// single policy fsync, returning the first LSN of the batch.
+func (w *WAL) AppendBatch(kinds []byte, payloads [][]byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first := w.nextLSN
+	for i := range kinds {
+		if _, err := w.appendLocked(kinds[i], payloads[i], false); err != nil {
+			return first, err
+		}
+	}
+	return first, w.maybeSyncLocked()
+}
+
+func (w *WAL) appendLocked(kind byte, payload []byte, sync bool) (uint64, error) {
+	if w.closed {
+		return 0, fmt.Errorf("persist: wal closed")
+	}
+	if w.offset >= w.segSize {
+		if err := w.openSegment(w.nextLSN); err != nil {
+			return 0, err
+		}
+	}
+	lsn := w.nextLSN
+	buf := appendFrame(make([]byte, 0, frameOverhead+len(payload)), lsn, kind, payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("persist: wal append: %w", err)
+	}
+	w.offset += int64(len(buf))
+	w.nextLSN++
+	w.dirty = true
+	inc(w.metrics.Appends)
+	if !sync {
+		return lsn, nil
+	}
+	return lsn, w.maybeSyncLocked()
+}
+
+// maybeSyncLocked fsyncs when the policy demands it per append.
+func (w *WAL) maybeSyncLocked() error {
+	if w.policy != FsyncAlways || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	start := time.Now()
+	err := w.f.Sync()
+	observe(w.metrics.FsyncSeconds, time.Since(start))
+	if err != nil {
+		return fmt.Errorf("persist: wal fsync: %w", err)
+	}
+	w.dirty = false
+	return nil
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			if !w.closed && w.dirty {
+				if err := w.syncLocked(); err != nil {
+					w.logf("persist: wal background fsync: %v", err)
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when
+// the WAL is empty).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// TornBytes reports how many trailing bytes were dropped at open time.
+func (w *WAL) TornBytes() int64 { return w.tornBytes }
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	// Records is how many valid records were delivered to fn.
+	Records int
+	// Corrupt is how many records were lost to a torn or corrupt tail
+	// (at most 1 detectable frame plus the trailing bytes; framing stops
+	// at the first bad frame since record boundaries are gone).
+	Corrupt int
+	// LastLSN is the LSN of the last valid record seen (0 if none).
+	LastLSN uint64
+}
+
+// Replay streams every record with LSN > after, in LSN order, to fn. A
+// bad frame ends the replay with a warning and a Corrupt count instead
+// of an error: after a crash the tail of the last segment is expected to
+// be torn, and everything before it is still good. fn returning an error
+// aborts the replay with that error.
+func (w *WAL) Replay(after uint64, fn func(lsn uint64, kind byte, payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	if err := w.Sync(); err != nil {
+		return st, err
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return st, fmt.Errorf("persist: wal replay scan: %w", err)
+	}
+	for i, seg := range segs {
+		// Skip segments entirely at or below `after`: a later segment's
+		// first LSN bounds this one's last.
+		if i+1 < len(segs) && segs[i+1].firstLSN <= after+1 {
+			continue
+		}
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return st, fmt.Errorf("persist: wal replay: %w", err)
+		}
+		if len(b) < walHeaderLen || string(b[:len(walMagic)]) != walMagic {
+			st.Corrupt++
+			w.logf("persist: wal replay: %s: bad segment header, stopping", filepath.Base(seg.path))
+			return st, nil
+		}
+		off := walHeaderLen
+		for off < len(b) {
+			rec, n, ok := parseFrame(b[off:])
+			if !ok {
+				st.Corrupt++
+				w.logf("persist: wal replay: %s: torn/corrupt record at offset %d, dropping %d trailing bytes",
+					filepath.Base(seg.path), off, len(b)-off)
+				return st, nil
+			}
+			off += n
+			if rec.lsn <= after {
+				continue
+			}
+			if err := fn(rec.lsn, rec.kind, rec.payload); err != nil {
+				return st, err
+			}
+			st.Records++
+			st.LastLSN = rec.lsn
+		}
+	}
+	return st, nil
+}
+
+// TruncateBefore deletes segments whose every record has LSN ≤ lsn (the
+// active segment is never deleted). It returns how many were removed.
+func (w *WAL) TruncateBefore(lsn uint64) (int, error) {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, fmt.Errorf("persist: wal truncate scan: %w", err)
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstLSN > lsn+1 {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return removed, fmt.Errorf("persist: wal truncate: %w", err)
+		}
+		removed++
+	}
+	add(w.metrics.TruncatedSegments, int64(removed))
+	return removed, nil
+}
+
+// SegmentCount returns how many segment files exist.
+func (w *WAL) SegmentCount() int {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close flushes, syncs and closes the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.dirty {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.mu.Unlock()
+	if w.stopSync != nil {
+		close(w.stopSync)
+		<-w.syncDone
+	}
+	return err
+}

@@ -1,0 +1,278 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// openTestWAL opens a WAL with test-friendly defaults.
+func openTestWAL(t testing.TB, dir string, cfg Config) *WAL {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	cfg.Logf = t.Logf
+	w, err := openWAL(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+type rec struct {
+	lsn     uint64
+	kind    byte
+	payload string
+}
+
+func replayAll(t testing.TB, w *WAL, after uint64) ([]rec, ReplayStats) {
+	t.Helper()
+	var got []rec
+	st, err := w.Replay(after, func(lsn uint64, kind byte, payload []byte) error {
+		got = append(got, rec{lsn, kind, string(payload)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, st
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), Config{Fsync: FsyncNone})
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		kind := RecordLog
+		if i%3 == 0 {
+			kind = RecordTxn
+		}
+		lsn, err := w.Append(kind, []byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d want %d", lsn, i+1)
+		}
+	}
+	got, st := replayAll(t, w, 0)
+	if len(got) != 10 || st.Corrupt != 0 {
+		t.Fatalf("replayed %d records, %d corrupt", len(got), st.Corrupt)
+	}
+	for i, r := range got {
+		if r.lsn != uint64(i+1) || r.payload != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		wantKind := RecordLog
+		if i%3 == 0 {
+			wantKind = RecordTxn
+		}
+		if r.kind != wantKind {
+			t.Fatalf("record %d kind %d want %d", i, r.kind, wantKind)
+		}
+	}
+	// Replay after an LSN skips the prefix.
+	tail, _ := replayAll(t, w, 7)
+	if len(tail) != 3 || tail[0].lsn != 8 {
+		t.Fatalf("tail after 7: %+v", tail)
+	}
+}
+
+func TestWALRotationAndReopenContinuity(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, Config{Fsync: FsyncNone, SegmentSize: 64})
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(RecordLog, bytes.Repeat([]byte{byte(i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.SegmentCount() < 2 {
+		t.Fatalf("expected rotation, got %d segments", w.SegmentCount())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir, Config{Fsync: FsyncNone, SegmentSize: 64})
+	defer w2.Close()
+	if got := w2.LastLSN(); got != 20 {
+		t.Fatalf("reopened LastLSN %d want 20", got)
+	}
+	lsn, err := w2.Append(RecordLog, []byte("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 21 {
+		t.Fatalf("post-reopen lsn %d want 21", lsn)
+	}
+	got, st := replayAll(t, w2, 0)
+	if len(got) != 21 || st.Corrupt != 0 {
+		t.Fatalf("replayed %d records, %d corrupt", len(got), st.Corrupt)
+	}
+}
+
+func TestWALTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, Config{Fsync: FsyncNone})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(RecordLog, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 4 bytes, as if the process
+	// died mid-write.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	fi, _ := os.Stat(segs[0].path)
+	if err := os.Truncate(segs[0].path, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir, Config{Fsync: FsyncNone})
+	defer w2.Close()
+	if w2.TornBytes() == 0 {
+		t.Fatal("torn bytes not reported")
+	}
+	if got := w2.LastLSN(); got != 2 {
+		t.Fatalf("LastLSN after torn tail %d want 2", got)
+	}
+	got, st := replayAll(t, w2, 0)
+	if len(got) != 2 || st.Corrupt != 0 {
+		t.Fatalf("replayed %d records (corrupt %d) want 2 clean", len(got), st.Corrupt)
+	}
+	// The torn LSN is reused by the next append.
+	if lsn, _ := w2.Append(RecordLog, []byte("retry")); lsn != 3 {
+		t.Fatalf("lsn %d want 3", lsn)
+	}
+}
+
+func TestWALCorruptRecordStopsReplayWithCount(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, Config{Fsync: FsyncNone})
+	defer w.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(RecordLog, []byte("abcdefgh")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	b, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record.
+	recLen := frameOverhead + 8
+	b[walHeaderLen+recLen+frameOverhead+2] ^= 0xff
+	if err := os.WriteFile(segs[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []rec
+	st, err := w.Replay(0, func(lsn uint64, kind byte, payload []byte) error {
+		got = append(got, rec{lsn, kind, string(payload)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || st.Corrupt != 1 {
+		t.Fatalf("replayed %d (corrupt %d); want 1 record then stop", len(got), st.Corrupt)
+	}
+}
+
+func TestWALTruncateBeforeKeepsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, Config{Fsync: FsyncNone, SegmentSize: 64})
+	defer w.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := w.Append(RecordLog, bytes.Repeat([]byte{'x'}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.SegmentCount()
+	if before < 3 {
+		t.Fatalf("want ≥3 segments, got %d", before)
+	}
+	removed, err := w.TruncateBefore(w.LastLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || w.SegmentCount() != before-removed {
+		t.Fatalf("removed %d, segments %d→%d", removed, before, w.SegmentCount())
+	}
+	if w.SegmentCount() < 1 {
+		t.Fatal("active segment must survive")
+	}
+	// Everything still in the remaining segments replays.
+	got, _ := replayAll(t, w, 0)
+	for i := 1; i < len(got); i++ {
+		if got[i].lsn != got[i-1].lsn+1 {
+			t.Fatalf("LSN gap after truncation: %d then %d", got[i-1].lsn, got[i].lsn)
+		}
+	}
+	if len(got) == 0 || got[len(got)-1].lsn != 30 {
+		t.Fatalf("tail record missing: %+v", got)
+	}
+}
+
+func TestWALAppendBatch(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), Config{Fsync: FsyncNone})
+	defer w.Close()
+	kinds := []byte{RecordLog, RecordTxn, RecordLog}
+	payloads := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	first, err := w.AppendBatch(kinds, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || w.LastLSN() != 3 {
+		t.Fatalf("first %d last %d", first, w.LastLSN())
+	}
+	got, _ := replayAll(t, w, 0)
+	if len(got) != 3 || got[2].payload != "c" {
+		t.Fatalf("batch replay %+v", got)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "none": FsyncNone,
+	} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() %q want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestWALFsyncIntervalBackgroundLoop(t *testing.T) {
+	// Just exercises the background syncer start/append/stop path.
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, Config{Fsync: FsyncInterval, FsyncInterval: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(RecordLog, []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, dir, Config{Fsync: FsyncNone})
+	defer w2.Close()
+	if got, _ := replayAll(t, w2, 0); len(got) != 5 {
+		t.Fatalf("replayed %d want 5", len(got))
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"turbo/internal/persist"
 
 	"turbo/internal/behavior"
 	"turbo/internal/resilience"
@@ -25,17 +28,37 @@ import (
 //	GET  /debug/traces?n=K  last K completed audit traces, newest first
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness: snapshot, model, breaker state
+//	POST /admin/checkpoint  force a full-state checkpoint now
+//	POST /admin/retrain     run one retrain pass now
 //
 // Error contract: wrong method → 405, bad parameters → 400, unknown
 // user → 404, shed load → 429, uncaught deadline → 504, anything else →
 // a generic 500 (internal error strings go to ErrorLog, not the wire).
+// The admin endpoints additionally answer 503 until SetReady(true) and
+// when their hook is not configured.
 type API struct {
 	Pred *PredictionServer
 	BN   *BNServer
 	// ErrorLog receives internal errors that are masked on the wire.
 	// Nil discards them.
 	ErrorLog *log.Logger
-	mux      *http.ServeMux
+	// Admin holds the operational hooks behind /admin/*; nil hooks
+	// answer 503.
+	Admin AdminHooks
+	mux   *http.ServeMux
+
+	// notReady gates /readyz and the admin endpoints during boot-time
+	// recovery. The zero value is ready, so embedders that never call
+	// SetReady keep the old behavior.
+	notReady atomic.Bool
+}
+
+// AdminHooks are the operational actions exposed under /admin/*.
+type AdminHooks struct {
+	// Checkpoint forces a durable full-state checkpoint.
+	Checkpoint func() (persist.CheckpointInfo, error)
+	// Retrain runs one retrain pass synchronously.
+	Retrain func() error
 }
 
 // NewAPI builds the HTTP handler around a prediction server.
@@ -51,8 +74,15 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/debug/traces", requireGET(a.handleTraces))
 	a.mux.HandleFunc("/healthz", requireGET(a.handleHealthz))
 	a.mux.HandleFunc("/readyz", requireGET(a.handleReadyz))
+	a.mux.HandleFunc("/admin/checkpoint", a.handleAdminCheckpoint)
+	a.mux.HandleFunc("/admin/retrain", a.handleAdminRetrain)
 	return a
 }
+
+// SetReady flips the boot-time readiness gate: false while recovering
+// (readyz answers 503 and admin actions are refused), true once the
+// state is rebuilt and the model is loaded.
+func (a *API) SetReady(ready bool) { a.notReady.Store(!ready) }
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
@@ -235,6 +265,62 @@ func (a *API) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// requirePOSTReady gates an admin handler: POST only (405), 503 while
+// the server is still recovering.
+func (a *API) requirePOSTReady(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if a.notReady.Load() {
+		http.Error(w, "server not ready", http.StatusServiceUnavailable)
+		return false
+	}
+	return true
+}
+
+// handleAdminCheckpoint forces a durable checkpoint and reports what was
+// written.
+func (a *API) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !a.requirePOSTReady(w, r) {
+		return
+	}
+	if a.Admin.Checkpoint == nil {
+		http.Error(w, "checkpointing not configured", http.StatusServiceUnavailable)
+		return
+	}
+	info, err := a.Admin.Checkpoint()
+	if err != nil {
+		a.logf("admin/checkpoint: %v", err)
+		http.Error(w, "checkpoint failed", http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"wal_lsn":            info.LSN,
+		"bytes":              info.Bytes,
+		"took_ns":            int64(info.Took),
+		"truncated_segments": info.TruncatedSegments,
+	})
+}
+
+// handleAdminRetrain runs one synchronous retrain pass.
+func (a *API) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
+	if !a.requirePOSTReady(w, r) {
+		return
+	}
+	if a.Admin.Retrain == nil {
+		http.Error(w, "retraining not configured", http.StatusServiceUnavailable)
+		return
+	}
+	if err := a.Admin.Retrain(); err != nil {
+		a.logf("admin/retrain: %v", err)
+		http.Error(w, "retrain failed", http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"retrained": true})
+}
+
 // handleHealthz is the liveness probe: the process is up and serving.
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -248,10 +334,12 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	snap := a.BN.Snapshot()
 	modelLoaded := a.Pred.ModelLoaded()
-	ready := snap != nil && modelLoaded
+	recovering := a.notReady.Load()
+	ready := snap != nil && modelLoaded && !recovering
 	body := map[string]any{
 		"ready":        ready,
 		"model_loaded": modelLoaded,
+		"recovering":   recovering,
 		"breaker":      a.Pred.BreakerState(),
 	}
 	if snap != nil {

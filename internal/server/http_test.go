@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"turbo/internal/persist"
 	"turbo/internal/resilience"
 )
 
@@ -392,5 +394,108 @@ func TestHTTPStatsServesSnapshotNotLiveGraph(t *testing.T) {
 	bnServer.Advance(t0.Add(3 * time.Hour))
 	if got := readNodes(); got != before+1 {
 		t.Fatalf("stats after Advance: %v nodes want %v", got, before+1)
+	}
+}
+
+func TestHTTPAdminEndpointsMethodAndReadiness(t *testing.T) {
+	api := newTestAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for _, path := range []string{"/admin/checkpoint", "/admin/retrain"} {
+		// Wrong method: 405 with an Allow header.
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: status %d want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "POST" {
+			t.Fatalf("GET %s: Allow %q want POST", path, allow)
+		}
+		// No hook configured: 503.
+		resp, err = http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s unconfigured: status %d want 503", path, resp.StatusCode)
+		}
+	}
+
+	// Not ready (recovering): 503 even with hooks installed.
+	api.Admin.Checkpoint = func() (persist.CheckpointInfo, error) {
+		return persist.CheckpointInfo{LSN: 7, Bytes: 128, TruncatedSegments: 1}, nil
+	}
+	api.Admin.Retrain = func() error { return nil }
+	api.SetReady(false)
+	for _, path := range []string{"/admin/checkpoint", "/admin/retrain"} {
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s while recovering: status %d want 503", path, resp.StatusCode)
+		}
+	}
+	// /readyz mirrors the gate.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while recovering: status %d want 503", resp.StatusCode)
+	}
+
+	api.SetReady(true)
+	resp, err = http.Post(srv.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ck["wal_lsn"] != float64(7) {
+		t.Fatalf("checkpoint response %d %+v", resp.StatusCode, ck)
+	}
+	resp, err = http.Post(srv.URL+"/admin/retrain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rt["retrained"] != true {
+		t.Fatalf("retrain response %d %+v", resp.StatusCode, rt)
+	}
+}
+
+func TestHTTPAdminErrorsAreMasked(t *testing.T) {
+	api := newTestAPI(t)
+	api.Admin.Checkpoint = func() (persist.CheckpointInfo, error) {
+		return persist.CheckpointInfo{}, errors.New("disk full: /secret/path")
+	}
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d want 500", resp.StatusCode)
+	}
+	if strings.Contains(string(body), "secret") {
+		t.Fatalf("internal error leaked to client: %q", body)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"turbo/internal/gnn"
+	"turbo/internal/persist"
 )
 
 // TrainFunc produces a freshly trained model and its feature normalizer
@@ -17,11 +18,16 @@ type TrainFunc func() (gnn.Model, func([]float64) []float64, error)
 // ModelManager is the model management module of Fig. 2: it retrains the
 // classification model offline on a schedule (the paper retrains HAG
 // daily) and hot-swaps it into the prediction server without pausing
-// audits.
+// audits. With an artifact store attached, every accepted retrain is
+// persisted as a new model version so a restarted server serves the
+// latest weights without retraining.
 type ModelManager struct {
 	mu    sync.Mutex
 	pred  *PredictionServer
 	train TrainFunc
+
+	artifacts *persist.ModelStore
+	extras    func() persist.Extras
 
 	retrains  int
 	lastError error
@@ -33,19 +39,59 @@ func NewModelManager(pred *PredictionServer, train TrainFunc) *ModelManager {
 	return &ModelManager{pred: pred, train: train}
 }
 
+// SetArtifacts attaches a model artifact store; extras (may be nil)
+// supplies the normalizer statistics and fallback weights persisted
+// alongside each model. Call before retraining starts.
+func (m *ModelManager) SetArtifacts(store *persist.ModelStore, extras func() persist.Extras) {
+	m.mu.Lock()
+	m.artifacts = store
+	m.extras = extras
+	m.mu.Unlock()
+}
+
+// runTrain invokes the training function with panic isolation: a
+// panicking TrainFunc (bad batch, shape mismatch in experimental code)
+// must cost one retrain cycle, never the serving process.
+func (m *ModelManager) runTrain() (model gnn.Model, norm func([]float64) []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			model, norm = nil, nil
+			err = fmt.Errorf("server: retrain panicked: %v", r)
+		}
+	}()
+	return m.train()
+}
+
 // RetrainOnce runs one offline training pass and swaps the new model in.
+// Failures — including a panicking TrainFunc — leave the previous model
+// serving, record the error (Status) and bump
+// turbo_retrain_failures_total.
 func (m *ModelManager) RetrainOnce() error {
-	model, norm, err := m.train()
+	model, norm, err := m.runTrain()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err != nil {
 		m.lastError = err
+		m.pred.Tel.RetrainFailed()
 		return fmt.Errorf("server: retrain: %w", err)
 	}
 	m.pred.SwapModel(model, norm)
 	m.retrains++
 	m.lastError = nil
 	m.lastSwap = time.Now()
+	if m.artifacts != nil {
+		var ex persist.Extras
+		if m.extras != nil {
+			ex = m.extras()
+		}
+		if _, aerr := m.artifacts.Save(model, ex); aerr != nil {
+			// The new model serves regardless; only its durability failed.
+			m.lastError = fmt.Errorf("server: persist model artifact: %w", aerr)
+			m.pred.Tel.ArtifactSaved(false)
+		} else {
+			m.pred.Tel.ArtifactSaved(true)
+		}
+	}
 	return nil
 }
 

@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"turbo/internal/feature"
 	"turbo/internal/gnn"
+	"turbo/internal/persist"
 )
 
 func TestModelManagerSwapChangesPredictions(t *testing.T) {
@@ -113,5 +115,70 @@ func TestConcurrentPredictDuringSwap(t *testing.T) {
 	close(stop)
 	if err := <-errs; err != nil {
 		t.Fatalf("predict during swap: %v", err)
+	}
+}
+
+func TestModelManagerRecoversFromPanickingTrain(t *testing.T) {
+	_, pred := newTestStack(t)
+	before, _ := pred.Predict(1, t0.Add(time.Hour))
+	mgr := NewModelManager(pred, func() (gnn.Model, func([]float64) []float64, error) {
+		panic("shape mismatch in experimental trainer")
+	})
+	err := mgr.RetrainOnce()
+	if err == nil {
+		t.Fatal("panicking TrainFunc must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %v does not mention the panic", err)
+	}
+	after, perr := pred.Predict(1, t0.Add(time.Hour))
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if before.Probability != after.Probability {
+		t.Fatal("panicked retrain must not change the serving model")
+	}
+	retrains, _, lastErr := mgr.Status()
+	if retrains != 0 || lastErr == nil {
+		t.Fatalf("status after panic: retrains=%d lastErr=%v", retrains, lastErr)
+	}
+	// The loop survives: a later healthy retrain still lands.
+	dim := 2 + feature.NumStatFeatures()
+	mgr.train = func() (gnn.Model, func([]float64) []float64, error) {
+		return gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{4}, MLPHidden: 2, Seed: 7}), nil, nil
+	}
+	if err := mgr.RetrainOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if retrains, _, lastErr := mgr.Status(); retrains != 1 || lastErr != nil {
+		t.Fatalf("recovery retrain not recorded: %d %v", retrains, lastErr)
+	}
+}
+
+func TestModelManagerPersistsAcceptedRetrains(t *testing.T) {
+	_, pred := newTestStack(t)
+	store, err := persist.NewModelStore(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 2 + feature.NumStatFeatures()
+	mgr := NewModelManager(pred, func() (gnn.Model, func([]float64) []float64, error) {
+		return gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{4}, MLPHidden: 2, Seed: 3}), nil, nil
+	})
+	mgr.SetArtifacts(store, func() persist.Extras {
+		return persist.Extras{NormMean: []float64{1}, NormStd: []float64{2}}
+	})
+	if err := mgr.RetrainOnce(); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Manifest.Kind != "graphsage" || lm.Manifest.Version != 1 {
+		t.Fatalf("artifact manifest %+v", lm.Manifest)
+	}
+	if len(lm.NormMean) != 1 || lm.NormMean[0] != 1 {
+		t.Fatalf("extras not persisted: %+v", lm.NormMean)
 	}
 }

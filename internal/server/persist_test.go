@@ -1,0 +1,352 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/bn"
+	"turbo/internal/graph"
+	"turbo/internal/persist"
+)
+
+// newJournaledServer builds a BN server whose ingest path is write-ahead
+// logged into dir. FsyncAlways keeps every accepted event durable, so
+// "kill" in these tests is simply abandoning the old server.
+func newJournaledServer(t *testing.T, dir string, segSize int64) (*BNServer, *persist.Manager) {
+	t.Helper()
+	s, err := NewBNServer(bn.Config{Windows: []time.Duration{time.Hour}}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := persist.Open(persist.Config{
+		Dir:         dir,
+		Fsync:       persist.FsyncAlways,
+		SegmentSize: segSize,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJournal(j)
+	return s, j
+}
+
+// event is one journaled action: a behavior log, or (when log is nil) a
+// transaction registration.
+type event struct {
+	log *behavior.Log
+	txn behavior.UserID
+}
+
+// apply feeds one event through the server's normal (journaled) path.
+func (e event) apply(s *BNServer) {
+	if e.log != nil {
+		s.Ingest(*e.log)
+	} else {
+		s.RegisterTransaction(e.txn)
+	}
+}
+
+// testEvents builds a deterministic event sequence: logs that share
+// device/IP values across a small user population (so Advance produces
+// edges), with transaction registrations interleaved.
+func testEvents(n int) []event {
+	evs := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			evs = append(evs, event{txn: behavior.UserID(i%7 + 1)})
+			continue
+		}
+		l := behavior.Log{
+			User:  behavior.UserID(i%7 + 1),
+			Type:  behavior.DeviceID,
+			Value: fmt.Sprintf("dev-%d", i%3),
+			Time:  t0.Add(time.Duration(i) * time.Minute),
+		}
+		if i%2 == 1 {
+			l.Type = behavior.IPv4
+			l.Value = fmt.Sprintf("ip-%d", i%4)
+		}
+		evs = append(evs, event{log: &l})
+	}
+	return evs
+}
+
+// fingerprint captures everything recovery must reproduce.
+type fingerprint struct {
+	nodes    []graph.NodeID
+	edges    []graph.Edge
+	txnUsers []behavior.UserID
+	logs     int
+}
+
+func takeFingerprint(s *BNServer) fingerprint {
+	st := s.captureState()
+	edges := append([]graph.Edge(nil), st.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	nodes := append([]graph.NodeID(nil), st.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return fingerprint{nodes: nodes, edges: edges, txnUsers: st.TxnUsers, logs: len(st.Logs)}
+}
+
+// requireEqualState compares two fingerprints: counts, node sets, txn
+// sets and edge topology exactly; edge weights within 1e-9 (replay
+// re-accumulates floats in map iteration order).
+func requireEqualState(t *testing.T, got, want fingerprint) {
+	t.Helper()
+	if len(got.nodes) != len(want.nodes) {
+		t.Fatalf("nodes %d want %d", len(got.nodes), len(want.nodes))
+	}
+	for i := range got.nodes {
+		if got.nodes[i] != want.nodes[i] {
+			t.Fatalf("node %d: %d want %d", i, got.nodes[i], want.nodes[i])
+		}
+	}
+	if len(got.txnUsers) != len(want.txnUsers) {
+		t.Fatalf("txn users %d want %d", len(got.txnUsers), len(want.txnUsers))
+	}
+	for i := range got.txnUsers {
+		if got.txnUsers[i] != want.txnUsers[i] {
+			t.Fatalf("txn user %d: %d want %d", i, got.txnUsers[i], want.txnUsers[i])
+		}
+	}
+	if got.logs != want.logs {
+		t.Fatalf("stored logs %d want %d", got.logs, want.logs)
+	}
+	if len(got.edges) != len(want.edges) {
+		t.Fatalf("edges %d want %d", len(got.edges), len(want.edges))
+	}
+	for i := range got.edges {
+		g, w := got.edges[i], want.edges[i]
+		if g.Type != w.Type || g.U != w.U || g.V != w.V {
+			t.Fatalf("edge %d topology: %+v want %+v", i, g, w)
+		}
+		if math.Abs(g.Weight-w.Weight) > 1e-9 {
+			t.Fatalf("edge %d weight: %v want %v", i, g.Weight, w.Weight)
+		}
+		if !g.ExpireAt.Equal(w.ExpireAt) {
+			t.Fatalf("edge %d expiry: %v want %v", i, g.ExpireAt, w.ExpireAt)
+		}
+	}
+}
+
+func TestKillAndRestartRecoversExactState(t *testing.T) {
+	dir := t.TempDir()
+	s1, j1 := newJournaledServer(t, dir, 0)
+	evs := testEvents(40)
+	half := len(evs) / 2
+	for _, e := range evs[:half] {
+		e.apply(s1)
+	}
+	s1.Advance(t0.Add(2 * time.Hour))
+	if _, err := j1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs[half:] {
+		e.apply(s1)
+	}
+	finalT := t0.Add(48 * time.Hour)
+	s1.Advance(finalT)
+	want := takeFingerprint(s1)
+	if len(want.edges) == 0 {
+		t.Fatal("test setup produced no edges")
+	}
+	// Kill: s1 and j1 are simply abandoned (FsyncAlways made every
+	// accepted event durable; no Close runs).
+
+	s2, j2 := newJournaledServer(t, dir, 0)
+	defer j2.Close()
+	rs, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.CheckpointLoaded || rs.CheckpointLSN == 0 {
+		t.Fatalf("checkpoint not loaded: %+v", rs)
+	}
+	if rs.ReplayedLogs+rs.ReplayedTxns != len(evs)-half {
+		t.Fatalf("replayed %d+%d events, want %d", rs.ReplayedLogs, rs.ReplayedTxns, len(evs)-half)
+	}
+	s2.Advance(finalT)
+	requireEqualState(t, takeFingerprint(s2), want)
+
+	// The recovered server keeps journaling: new events land after the
+	// recovered tail.
+	s2.Ingest(behavior.Log{User: 1, Type: behavior.DeviceID, Value: "post", Time: finalT})
+	if got := j2.WAL().LastLSN(); got != uint64(len(evs))+1 {
+		t.Fatalf("post-recovery LSN %d want %d", got, len(evs)+1)
+	}
+}
+
+// lastWALSegment returns the path of the newest WAL segment under dir.
+func lastWALSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+func TestRecoveryCorruptedTailSkippedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s1, j1 := newJournaledServer(t, dir, 0)
+	const k = 6
+	for i := 0; i < k; i++ {
+		s1.Ingest(behavior.Log{
+			User: behavior.UserID(i + 1), Type: behavior.DeviceID,
+			Value: "d", Time: t0.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop a few bytes off the last record, as a mid-write crash would.
+	seg := lastWALSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, j2 := newJournaledServer(t, dir, 0)
+	defer j2.Close()
+	rs, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("recovery must tolerate a torn tail: %v", err)
+	}
+	if rs.ReplayedLogs != k-1 {
+		t.Fatalf("replayed %d logs want %d", rs.ReplayedLogs, k-1)
+	}
+	if j2.WAL().TornBytes() == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if s2.Store().Len() != k-1 {
+		t.Fatalf("store holds %d logs want %d", s2.Store().Len(), k-1)
+	}
+}
+
+// copyDir clones a persistence directory so each kill point replays from
+// an identical on-disk state.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryKillPoints is the crash-recovery property test: a WAL+
+// checkpoint directory is truncated at random byte offsets (simulating a
+// kill mid-segment, mid-record, or between a checkpoint and its WAL
+// truncation) and recovery must always produce the state reached by
+// applying exactly the surviving prefix of the event sequence.
+func TestRecoveryKillPoints(t *testing.T) {
+	const walHeader = 9 // magic + version; persist keeps at least this
+
+	evs := testEvents(60)
+	half := len(evs) / 2
+	advanceT := t0.Add(2 * time.Hour)
+	finalT := t0.Add(48 * time.Hour)
+
+	master := t.TempDir()
+	s1, j1 := newJournaledServer(t, master, 512)
+	for _, e := range evs[:half] {
+		e.apply(s1)
+	}
+	s1.Advance(advanceT)
+	if _, err := j1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs[half:] {
+		e.apply(s1)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("kill-%d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, master, dir)
+			seg := lastWALSegment(t, dir)
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := walHeader + rng.Int63n(fi.Size()-walHeader+1)
+			if err := os.Truncate(seg, cut); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, j2 := newJournaledServer(t, dir, 512)
+			defer j2.Close()
+			rs, err := s2.Recover()
+			if err != nil {
+				t.Fatalf("cut at %d/%d: %v", cut, fi.Size(), err)
+			}
+			if !rs.CheckpointLoaded {
+				t.Fatalf("checkpoint lost: %+v", rs)
+			}
+			// Each event is exactly one WAL record with sequential LSNs
+			// from 1, so the survivors are a strict prefix of evs.
+			p := rs.CheckpointLSN + uint64(rs.ReplayedLogs) + uint64(rs.ReplayedTxns)
+			if p < uint64(half) || p > uint64(len(evs)) {
+				t.Fatalf("survived prefix %d outside [%d,%d]", p, half, len(evs))
+			}
+
+			ref, err := NewBNServer(bn.Config{Windows: []time.Duration{time.Hour}}, t0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range evs[:half] {
+				e.apply(ref)
+			}
+			ref.Advance(advanceT)
+			for _, e := range evs[half:p] {
+				e.apply(ref)
+			}
+			ref.Advance(finalT)
+
+			s2.Advance(finalT)
+			requireEqualState(t, takeFingerprint(s2), takeFingerprint(ref))
+		})
+	}
+}

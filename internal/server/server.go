@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"turbo/internal/gnn"
 	"turbo/internal/graph"
 	"turbo/internal/metrics"
+	"turbo/internal/persist"
 	"turbo/internal/resilience"
 	"turbo/internal/store"
 	"turbo/internal/telemetry"
@@ -64,6 +66,11 @@ type BNServer struct {
 	tel           *Telemetry
 	snapPublished atomic.Int64
 	lastStats     bn.BuildStats
+
+	// journal, when set, write-ahead-logs every ingested event before it
+	// is applied in memory, making the BN state recoverable after a
+	// crash. Install with SetJournal before serving.
+	journal *persist.Manager
 
 	SampleHops      int
 	MaxNeighbors    int
@@ -113,27 +120,157 @@ func (s *BNServer) SetTelemetry(tel *Telemetry) {
 // SetTelemetry).
 func (s *BNServer) Telemetry() *Telemetry { return s.tel }
 
+// SetJournal installs the durable-state manager: every subsequent
+// Ingest/IngestBatch/RegisterTransaction is write-ahead-logged before it
+// is applied in memory, and the manager's checkpoints capture this
+// server's full state. Call before serving; installation is not
+// synchronized with in-flight ingests.
+func (s *BNServer) SetJournal(j *persist.Manager) {
+	s.journal = j
+	if j != nil {
+		j.SetSource(s.captureState)
+	}
+}
+
+// Journal returns the installed durable-state manager (nil when the
+// server runs memory-only).
+func (s *BNServer) Journal() *persist.Manager { return s.journal }
+
 // Ingest stores one behavior log. Edges materialize when the scheduled
 // window jobs run (Advance), in parallel to prediction requests, so log
-// ingestion never sits on the prediction path.
+// ingestion never sits on the prediction path. With a journal installed
+// the log is write-ahead-logged first; a WAL failure costs that event's
+// durability, never its ingestion.
 func (s *BNServer) Ingest(l behavior.Log) {
-	s.store.Append(l)
-	s.tel.IngestedLogs(1)
+	if s.journal != nil {
+		s.journal.AppendLog(l, func() { s.applyLog(l) })
+		return
+	}
+	s.applyLog(l)
 }
 
 // IngestBatch bulk-loads logs (e.g. a historical backfill).
 func (s *BNServer) IngestBatch(logs []behavior.Log) {
-	s.store.AppendBatch(logs)
-	s.tel.IngestedLogs(len(logs))
+	if s.journal != nil {
+		s.journal.AppendLogBatch(logs, func() { s.applyLogBatch(logs) })
+		return
+	}
+	s.applyLogBatch(logs)
 }
 
 // RegisterTransaction marks a user as having a transaction, making it
 // eligible for computation subgraphs.
 func (s *BNServer) RegisterTransaction(u behavior.UserID) {
+	if s.journal != nil {
+		s.journal.AppendTxn(u, func() { s.applyTxn(u) })
+		return
+	}
+	s.applyTxn(u)
+}
+
+// applyLog is the in-memory half of Ingest.
+func (s *BNServer) applyLog(l behavior.Log) {
+	s.store.Append(l)
+	s.tel.IngestedLogs(1)
+}
+
+// applyLogBatch is the in-memory half of IngestBatch.
+func (s *BNServer) applyLogBatch(logs []behavior.Log) {
+	s.store.AppendBatch(logs)
+	s.tel.IngestedLogs(len(logs))
+}
+
+// applyTxn is the in-memory half of RegisterTransaction.
+func (s *BNServer) applyTxn(u behavior.UserID) {
 	s.txnMu.Lock()
 	s.hasTxn[u] = true
 	s.txnMu.Unlock()
 	s.g.AddNode(graph.NodeID(u))
+}
+
+// captureState gathers the server's full state for a checkpoint. It runs
+// under the journal's append lock (no event can land mid-capture) and
+// additionally takes s.mu so no Advance is in flight: the captured
+// graph, window cursors and log store are one consistent cut.
+func (s *BNServer) captureState() *persist.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txnMu.RLock()
+	users := make([]behavior.UserID, 0, len(s.hasTxn))
+	for u := range s.hasTxn {
+		users = append(users, u)
+	}
+	s.txnMu.RUnlock()
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	return &persist.State{
+		CapturedAt:   time.Now(),
+		NumEdgeTypes: s.g.NumEdgeTypes(),
+		Nodes:        s.g.Nodes(),
+		Edges:        s.g.Edges(),
+		NextEpochs:   s.builder.NextEpochs(),
+		TxnUsers:     users,
+		Logs:         s.store.Dump(),
+	}
+}
+
+// RestoreCheckpoint implements persist.Applier: it installs a checkpoint
+// into this (fresh, boot-time) server. Each checkpointed edge carries
+// its full accumulated weight, so a single AddEdgeWeight per edge
+// reproduces the graph exactly.
+func (s *BNServer) RestoreCheckpoint(st *persist.State) error {
+	if st.NumEdgeTypes != s.g.NumEdgeTypes() {
+		return fmt.Errorf("server: checkpoint has %d edge types, graph has %d",
+			st.NumEdgeTypes, s.g.NumEdgeTypes())
+	}
+	if err := s.builder.RestoreNextEpochs(st.NextEpochs); err != nil {
+		return err
+	}
+	for _, n := range st.Nodes {
+		s.g.AddNode(n)
+	}
+	for _, e := range st.Edges {
+		if err := s.g.AddEdgeWeight(e.Type, e.U, e.V, e.Weight, e.ExpireAt); err != nil {
+			return fmt.Errorf("server: restore edge (%d,%d,%d): %w", e.Type, e.U, e.V, err)
+		}
+	}
+	s.txnMu.Lock()
+	for _, u := range st.TxnUsers {
+		s.hasTxn[u] = true
+	}
+	s.txnMu.Unlock()
+	s.store.AppendBatch(st.Logs)
+	return nil
+}
+
+// ReplayLog implements persist.Applier: re-apply one WAL log record
+// without re-journaling it (it is already on disk).
+func (s *BNServer) ReplayLog(l behavior.Log) { s.store.Append(l) }
+
+// ReplayTxn implements persist.Applier.
+func (s *BNServer) ReplayTxn(u behavior.UserID) { s.applyTxn(u) }
+
+// RefreshSnapshot republishes the read snapshot from the live graph
+// (recovery mutates the graph without going through Advance).
+func (s *BNServer) RefreshSnapshot() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Store(s.g.Snapshot())
+	s.snapPublished.Store(time.Now().UnixNano())
+}
+
+// Recover rebuilds this server from the installed journal — newest valid
+// checkpoint plus WAL tail — and republishes the read snapshot. It must
+// run on a fresh server before any ingestion or Advance.
+func (s *BNServer) Recover() (persist.RecoveryStats, error) {
+	if s.journal == nil {
+		return persist.RecoveryStats{}, fmt.Errorf("server: no journal installed")
+	}
+	rs, err := s.journal.Recover(s)
+	if err != nil {
+		return rs, err
+	}
+	s.RefreshSnapshot()
+	return rs, nil
 }
 
 // Advance runs all window jobs due by now (the periodic scheduler tick),

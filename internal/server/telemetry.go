@@ -5,6 +5,7 @@ import (
 	"log"
 	"time"
 
+	"turbo/internal/persist"
 	"turbo/internal/resilience"
 	"turbo/internal/telemetry"
 )
@@ -50,6 +51,17 @@ type TelemetryOptions struct {
 //	turbo_bn_snapshot_epoch               published snapshot epoch
 //	turbo_bn_snapshot_age_seconds         time since the snapshot was published
 //	turbo_bn_shard_skew                   max/mean shard node count
+//	turbo_wal_appends_total               WAL records written
+//	turbo_wal_append_errors_total         WAL writes that failed (durability lost)
+//	turbo_wal_corrupt_records_total       WAL records dropped as torn/corrupt
+//	turbo_wal_truncated_segments_total    WAL segments deleted after checkpoints
+//	turbo_wal_fsync_seconds               WAL fsync latency histogram
+//	turbo_checkpoint_seconds              checkpoint capture+write latency histogram
+//	turbo_checkpoints_total               checkpoints written (+ _errors_total)
+//	turbo_checkpoint_age_seconds          time since the last checkpoint
+//	turbo_recovery_replayed_events        WAL records re-applied at boot
+//	turbo_retrain_failures_total          retrain passes that errored or panicked
+//	turbo_model_artifacts_total{result}   model artifact saves by result
 type Telemetry struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
@@ -76,6 +88,11 @@ type Telemetry struct {
 	bnNodes     *telemetry.Gauge
 	bnEdges     *telemetry.Gauge
 	snapEpoch   *telemetry.Gauge
+
+	persistMetrics persist.Metrics
+	retrainFails   *telemetry.Counter
+	artifactOK     *telemetry.Counter
+	artifactErr    *telemetry.Counter
 }
 
 // Audit pipeline stages, the label values of turbo_audit_stage_seconds.
@@ -127,6 +144,33 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 	t.bnNodes = reg.Gauge("turbo_bn_nodes", "Nodes in the published BN snapshot.")
 	t.bnEdges = reg.Gauge("turbo_bn_edges", "Undirected edges in the published BN snapshot.")
 	t.snapEpoch = reg.Gauge("turbo_bn_snapshot_epoch", "Published BN snapshot epoch.")
+
+	t.persistMetrics = persist.Metrics{
+		Appends: reg.Counter("turbo_wal_appends_total",
+			"WAL records written (behavior logs and transaction registrations)."),
+		AppendErrors: reg.Counter("turbo_wal_append_errors_total",
+			"WAL writes that failed; the event was applied in memory but durability was lost."),
+		FsyncSeconds: reg.Histogram("turbo_wal_fsync_seconds",
+			"WAL fsync latency.", opts.Buckets),
+		CheckpointSeconds: reg.Histogram("turbo_checkpoint_seconds",
+			"Checkpoint capture + write + truncation latency.", opts.Buckets),
+		Checkpoints: reg.Counter("turbo_checkpoints_total",
+			"Full-state checkpoints written."),
+		CheckpointErrors: reg.Counter("turbo_checkpoint_errors_total",
+			"Checkpoint attempts that failed."),
+		Replayed: reg.Counter("turbo_recovery_replayed_events",
+			"WAL records re-applied during boot-time recovery."),
+		CorruptRecords: reg.Counter("turbo_wal_corrupt_records_total",
+			"WAL records dropped as torn or corrupt."),
+		TruncatedSegments: reg.Counter("turbo_wal_truncated_segments_total",
+			"WAL segments deleted after a covering checkpoint."),
+	}
+	t.retrainFails = reg.Counter("turbo_retrain_failures_total",
+		"Retrain passes that returned an error or panicked.")
+	artifacts := reg.CounterVec("turbo_model_artifacts_total",
+		"Model artifact save attempts by result.", "result")
+	t.artifactOK = artifacts.With("saved")
+	t.artifactErr = artifacts.With("error")
 
 	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if opts.Logger != nil {
@@ -293,4 +337,43 @@ func (t *Telemetry) FinishTrace(tr *telemetry.Trace) {
 		return
 	}
 	t.Tracer.Finish(tr)
+}
+
+// WirePersist installs the WAL/checkpoint metric handles on the durable
+// state manager and registers the checkpoint-age gauge. Nil-safe on both
+// sides.
+func (t *Telemetry) WirePersist(m *persist.Manager) {
+	if t == nil || m == nil {
+		return
+	}
+	m.SetMetrics(t.persistMetrics)
+	t.Registry.GaugeFunc("turbo_checkpoint_age_seconds",
+		"Seconds since the last full-state checkpoint (-1 before the first).",
+		func() float64 {
+			_, at := m.LastCheckpoint()
+			if at.IsZero() {
+				return -1
+			}
+			return time.Since(at).Seconds()
+		})
+}
+
+// RetrainFailed counts one failed (errored or panicked) retrain pass.
+func (t *Telemetry) RetrainFailed() {
+	if t == nil {
+		return
+	}
+	t.retrainFails.Inc()
+}
+
+// ArtifactSaved counts one model-artifact save attempt by result.
+func (t *Telemetry) ArtifactSaved(ok bool) {
+	if t == nil {
+		return
+	}
+	if ok {
+		t.artifactOK.Inc()
+	} else {
+		t.artifactErr.Inc()
+	}
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Hot-path benchmark harness: runs the tape-vs-infer, batch-compile and
-# audit benchmarks with allocation reporting and writes a JSON snapshot
-# to BENCH_infer.json (ns/op, B/op, allocs/op per benchmark).
+# Hot-path benchmark harness: runs the tape-vs-infer, batch-compile,
+# audit, WAL-append and recovery-replay benchmarks with allocation
+# reporting and writes a JSON snapshot to BENCH_infer.json (ns/op, B/op,
+# allocs/op per benchmark).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 200x)
 set -euo pipefail
@@ -13,9 +14,9 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench (benchtime=$BENCHTIME)"
-go test -run 'XXX-none' -bench 'BenchmarkScoreTapeVsInfer|BenchmarkHAGScoreTapeVsInfer|BenchmarkBatchCompile|BenchmarkAuditHotPath|BenchmarkFeatureFanout' \
+go test -run 'XXX-none' -bench 'BenchmarkScoreTapeVsInfer|BenchmarkHAGScoreTapeVsInfer|BenchmarkBatchCompile|BenchmarkAuditHotPath|BenchmarkFeatureFanout|BenchmarkWALAppend|BenchmarkRecoveryReplay' \
     -benchtime "$BENCHTIME" -benchmem \
-    ./internal/gnn/ ./internal/hag/ ./internal/server/ | tee "$RAW"
+    ./internal/gnn/ ./internal/hag/ ./internal/server/ ./internal/persist/ | tee "$RAW"
 
 # Parse `BenchmarkX-N  iters  ns/op  B/op  allocs/op` lines into JSON.
 awk -v benchtime="$BENCHTIME" '

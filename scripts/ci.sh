@@ -20,8 +20,14 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / resilience / server incl. chaos / telemetry incl. trace ring / tape-free infer)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/...
+echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring / tape-free infer / persist)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/...
+
+echo "== crash-recovery property test (random kill points, under -race)"
+go test -race -run 'TestRecoveryKillPoints|TestKillAndRestartRecoversExactState' ./internal/server/
+
+echo "== fuzz smoke (WAL payload decoder, 10s)"
+go test -fuzz FuzzDecodeBehavior -fuzztime 10s -run 'XXX-none' ./internal/behavior/
 
 echo "== /metrics exposition golden test"
 go test -run 'TestExpositionGolden|TestMetricsEndpoint' ./internal/telemetry/... ./internal/server/...
