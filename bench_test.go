@@ -23,6 +23,7 @@ import (
 	"turbo/internal/graph"
 	"turbo/internal/hag"
 	"turbo/internal/server"
+	"turbo/internal/sweep"
 	"turbo/internal/tensor"
 )
 
@@ -497,4 +498,51 @@ func BenchmarkMatMul(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		x.MatMul(w)
 	}
+}
+
+// BenchmarkScoreEveryoneNaive re-scores every user of the BN the way the
+// serving path would if asked one user at a time: extract that user's
+// uncapped 2-hop computation subgraph, gather its features, compile a
+// batch, run one forward. This is the pre-sweep full-graph re-score
+// baseline that BenchmarkFullGraphSweep replaces; the internal/sweep
+// tests pin the two paths to per-node agreement within 1e-12.
+func BenchmarkScoreEveryoneNaive(b *testing.B) {
+	a := benchAssembled()
+	m := eval.NewHAG(eval.HAGFull, hagConfig(benchHyper(), a.X.Cols, a.Graph.NumEdgeTypes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range a.Nodes {
+			sg := graph.SampleView(a.Graph, u, graph.SampleOptions{Hops: 2})
+			x := tensor.New(sg.NumNodes(), a.X.Cols)
+			for j, n := range sg.Nodes {
+				copy(x.Row(j), a.X.Row(int(n)))
+			}
+			batch := gnn.NewBatch(sg, x)
+			gnn.Score(m, batch)
+			batch.Release()
+		}
+	}
+	b.ReportMetric(float64(len(a.Nodes)), "nodes/sweep")
+}
+
+// BenchmarkFullGraphSweep re-scores every user through one shard-parallel
+// layer-at-a-time GAS sweep (internal/sweep): the snapshot is exported
+// once, each layer runs for all nodes before the next, and one worker per
+// shard streams out per-node probabilities. Compare ns/op against
+// BenchmarkScoreEveryoneNaive — the sweep shares each layer's work across
+// all nodes instead of recomputing overlapping neighborhoods per user.
+func BenchmarkFullGraphSweep(b *testing.B) {
+	a := benchAssembled()
+	m := eval.NewHAG(eval.HAGFull, hagConfig(benchHyper(), a.X.Cols, a.Graph.NumEdgeTypes()))
+	out := make([]float64, len(a.Nodes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := a.FullBatch()
+		st := sweep.ScoresInto(out, m, batch, sweep.Options{})
+		if st.Fallback {
+			b.Fatal("sweep fell back to per-batch inference")
+		}
+		batch.Release()
+	}
+	b.ReportMetric(float64(len(a.Nodes)), "nodes/sweep")
 }

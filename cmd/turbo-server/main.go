@@ -316,6 +316,17 @@ func main() {
 		return m, a.Norm.Apply, nil
 	}
 	mgr := server.NewModelManager(pred, trainFn)
+	// After every accepted swap, re-score the whole graph in one sweep so
+	// cached scores reflect the new model immediately.
+	mgr.SetResweep(func() {
+		rep, err := sys.Resweep(ctx)
+		if err != nil {
+			log.Printf("post-retrain sweep: %v", err)
+			return
+		}
+		log.Printf("post-retrain sweep: %d/%d users re-scored in %v (%d workers, %d skipped)",
+			rep.Scored, rep.Candidates, rep.Elapsed, rep.Workers, rep.Skipped)
+	})
 	if modelStore != nil {
 		mgr.SetArtifacts(modelStore, func() persist.Extras {
 			return persist.Extras{NormMean: a.Norm.Mean, NormStd: a.Norm.Std, Fallback: fallback}

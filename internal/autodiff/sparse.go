@@ -55,6 +55,30 @@ func (c *CSR) MatMulInto(dst, h *tensor.Matrix) {
 	})
 }
 
+// MatMulRangeInto computes rows [lo, hi) of A × H sequentially,
+// accumulating into zeroed dst rows. It is the caller-partitioned
+// variant of MatMulInto: per-row arithmetic is identical, so any
+// contiguous partition of [0, NRows) yields results bitwise equal to
+// one MatMulInto call. dst rows outside [lo, hi) are untouched.
+func (c *CSR) MatMulRangeInto(dst, h *tensor.Matrix, lo, hi int) {
+	if h.Rows != c.NCols || dst.Rows != c.NRows || dst.Cols != h.Cols {
+		panic("autodiff: CSR range matmul shape mismatch")
+	}
+	if lo < 0 || hi > c.NRows || lo > hi {
+		panic("autodiff: CSR range matmul bad range")
+	}
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			w := c.Weights[p]
+			src := h.Row(c.ColIdx[p])
+			for j, v := range src {
+				drow[j] += w * v
+			}
+		}
+	}
+}
+
 // MatMulRowInto computes row i of A × H into dst (1 × h.Cols), with the
 // identical per-row arithmetic of MatMulInto. dst must be zeroed.
 func (c *CSR) MatMulRowInto(dst, h *tensor.Matrix, i int) {

@@ -38,10 +38,11 @@ type Config struct {
 
 // System is a running Turbo instance.
 type System struct {
-	cfg   Config
-	bn    *server.BNServer
-	feats *feature.Service
-	pred  *server.PredictionServer
+	cfg     Config
+	bn      *server.BNServer
+	feats   *feature.Service
+	pred    *server.PredictionServer
+	sweeper *server.SweepEngine
 }
 
 // New creates a Turbo system anchored at t0 (the BN epoch-grid origin).
@@ -86,6 +87,7 @@ func (s *System) Recover() (persist.RecoveryStats, error) {
 func (s *System) SetModel(m gnn.Model, normalizer func([]float64) []float64) {
 	s.pred = server.NewPredictionServer(s.bn, s.feats, m, s.cfg.Threshold)
 	s.pred.Normalizer = normalizer
+	s.sweeper = server.NewSweepEngine(s.bn, s.pred)
 }
 
 // Ingest records one behavior log in real time.
@@ -126,12 +128,32 @@ func (s *System) AuditCtx(ctx context.Context, u behavior.UserID, at time.Time) 
 	return s.pred.PredictCtx(ctx, u, at)
 }
 
-// API returns the HTTP handler for the online stack (nil until SetModel).
+// API returns the HTTP handler for the online stack (nil until
+// SetModel), with the full-graph sweep engine wired behind POST
+// /admin/sweep and the sweep section of /stats.
 func (s *System) API() *server.API {
 	if s.pred == nil {
 		return nil
 	}
-	return server.NewAPI(s.pred, s.bn)
+	api := server.NewAPI(s.pred, s.bn)
+	api.Sweep = s.sweeper
+	api.Admin.Sweep = func() (server.SweepReport, error) {
+		return s.sweeper.RunOnce(context.Background())
+	}
+	return api
+}
+
+// Sweeper exposes the full-graph sweep engine (nil until SetModel): one
+// shard-parallel layer-at-a-time pass re-scores every audit-eligible
+// user from the published snapshot.
+func (s *System) Sweeper() *server.SweepEngine { return s.sweeper }
+
+// Resweep re-scores every audit-eligible user through the sweep engine.
+func (s *System) Resweep(ctx context.Context) (server.SweepReport, error) {
+	if s.sweeper == nil {
+		return server.SweepReport{}, fmt.Errorf("core: no model attached; call SetModel first")
+	}
+	return s.sweeper.RunOnce(ctx)
 }
 
 // BNServer exposes the BN server (stats, direct sampling).
@@ -156,6 +178,9 @@ func (s *System) StartRetraining(ctx context.Context, interval time.Duration, tr
 		return nil, fmt.Errorf("core: attach an initial model with SetModel before StartRetraining")
 	}
 	mgr := server.NewModelManager(s.pred, train)
+	// Every accepted swap is followed by a full-graph re-score, so the
+	// last-known-score cache serves the new model's scores immediately.
+	mgr.SetResweep(func() { _, _ = s.sweeper.RunOnce(context.Background()) })
 	go mgr.Run(ctx, interval)
 	return mgr, nil
 }

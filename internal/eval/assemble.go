@@ -6,7 +6,6 @@
 package eval
 
 import (
-	"math"
 	"time"
 
 	"turbo/internal/baselines"
@@ -148,49 +147,16 @@ func (a *Assembled) MaskedBatch(t behavior.Type) *gnn.Batch {
 }
 
 // fullSubgraph builds a Subgraph containing every user node in a.Nodes
-// order with all (unmasked) typed edges.
+// order with all (unmasked) typed edges, delegating to the shared
+// full-graph export so experiments and the sweep engine compile the
+// identical edge set and §III-A normalization. The snapshot a.Graph
+// holds takes the export's lock-free fast path.
 func (a *Assembled) fullSubgraph(mask graph.EdgeMask, rawWeights bool) *graph.Subgraph {
-	sg := &graph.Subgraph{
-		Nodes:      append([]graph.NodeID(nil), a.Nodes...),
-		Index:      make(map[graph.NodeID]int, len(a.Nodes)),
-		TypedEdges: make([][]graph.LocalEdge, a.Graph.NumEdgeTypes()),
-		Hops:       make([]int, len(a.Nodes)),
-	}
-	for i, id := range sg.Nodes {
-		sg.Index[id] = i
-	}
-	masked := -1
-	if mask != graph.NoMask {
-		masked = int(mask) - 1
-	}
-	for t := 0; t < a.Graph.NumEdgeTypes(); t++ {
-		if t == masked {
-			continue
-		}
-		// Typed weighted degrees for the §III-A normalization.
-		for i, u := range sg.Nodes {
-			du := a.Graph.TypedWeightedDegree(u, graph.EdgeType(t))
-			if du == 0 {
-				continue
-			}
-			for _, nb := range a.Graph.NeighborsByType(u, graph.EdgeType(t)) {
-				j, ok := sg.Index[nb.Node]
-				if !ok {
-					continue
-				}
-				w := nb.Weight
-				if !rawWeights {
-					dv := a.Graph.TypedWeightedDegree(nb.Node, graph.EdgeType(t))
-					if dv == 0 {
-						continue
-					}
-					w = nb.Weight / math.Sqrt(du*dv)
-				}
-				sg.TypedEdges[t] = append(sg.TypedEdges[t], graph.LocalEdge{Src: i, Dst: j, Weight: w})
-			}
-		}
-	}
-	return sg
+	return graph.FullSubgraph(a.Graph, graph.FullOptions{
+		Nodes:      a.Nodes,
+		RawWeights: rawWeights,
+		Mask:       mask,
+	})
 }
 
 // TestLabels returns the boolean labels of the test split, aligned with

@@ -1,0 +1,77 @@
+package feature
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turbo/internal/behavior"
+)
+
+// bulk.go is the bulk retrieval path the full-graph sweep engine uses:
+// one call fetches the vectors of thousands of users with a bounded
+// worker pool instead of the audit path's per-subgraph fan-out. Results
+// are positionally aligned with the input so callers can assemble a
+// feature matrix without re-keying, and failures are reported per user —
+// a sweep skips the users it cannot feature rather than aborting.
+
+// defaultBulkWorkers bounds the bulk fan-out: enough to hide the
+// simulated database latency without monopolizing the scheduler.
+func defaultBulkWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w < 16 {
+		return w
+	}
+	return 16
+}
+
+// FetchVectors retrieves the feature vector of every user through src
+// with at most `workers` concurrent fetches (0 selects min(16,
+// GOMAXPROCS)). vecs[i] and errs[i] report user users[i]: exactly one of
+// the two is non-nil. Failures do not cancel sibling fetches — a context
+// cancellation surfaces as the per-user error of the remaining users,
+// and vectors fetched before it are kept.
+func FetchVectors(ctx context.Context, src Source, users []behavior.UserID, cutoff time.Time, workers int) (vecs [][]float64, errs []error) {
+	n := len(users)
+	vecs = make([][]float64, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return vecs, errs
+	}
+	if workers <= 0 {
+		workers = defaultBulkWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, u := range users {
+			vecs[i], errs[i] = src.VectorCtx(ctx, u, cutoff)
+		}
+		return vecs, errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				vecs[i], errs[i] = src.VectorCtx(ctx, users[i], cutoff)
+			}
+		}()
+	}
+	wg.Wait()
+	return vecs, errs
+}
+
+// VectorsCtx is the service's bulk vector path: FetchVectors over the
+// service itself with the default worker bound.
+func (s *Service) VectorsCtx(ctx context.Context, users []behavior.UserID, cutoff time.Time) ([][]float64, []error) {
+	return FetchVectors(ctx, s, users, cutoff, 0)
+}

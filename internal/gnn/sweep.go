@@ -1,0 +1,317 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"turbo/internal/nn"
+	"turbo/internal/tensor"
+)
+
+// sweep.go compiles models into layer-at-a-time full-graph programs —
+// the Gather-Apply-Scatter formulation InferTurbo-style engines use.
+// Instead of one forward pass per audited node over a sampled subgraph,
+// a SweepProgram computes layer k for *every* node before layer k+1:
+// each step is a row-partitionable kernel over global activation
+// matrices, and the executor (internal/sweep) runs the row ranges on one
+// worker per shard with a barrier between steps. Barriers are what make
+// the decomposition correct — an aggregation step may read any row of
+// its input, so the previous step must have finished everywhere.
+//
+// Equivalence contract: every step runs the exact per-row arithmetic of
+// the model's Infer kernels (the range variants in tensor/autodiff are
+// bitwise-identical per row to their full-matrix forms), so a completed
+// program's Logits match Infer on the same Batch bitwise, and the
+// per-node Score path to ≤1e-12 (subgraph-local index order can permute
+// within-row summation).
+
+// SweepStep is one barrier-separated stage of a sweep: Run computes
+// output rows [lo, hi) and may read any row of matrices produced by
+// earlier steps, but must write only state owned by its row range.
+type SweepStep struct {
+	Name string
+	Run  func(f *Fwd, lo, hi int)
+}
+
+// SweepProgram is a compiled layer-at-a-time forward over one Batch.
+// Activation buffers come from the tensor pool and are recycled across
+// steps with build-time liveness (Alloc/Retire), so only about two
+// layers of activations are resident however deep the model is. After
+// the final step, Logits holds every node's fraud logit. Release the
+// program when the logits have been consumed.
+type SweepProgram struct {
+	NumNodes int
+	Steps    []SweepStep
+	// Logits is the NumNodes×1 output of the final step.
+	Logits *tensor.Matrix
+
+	free  map[[2]int][]*tensor.Matrix
+	owned []*tensor.Matrix
+}
+
+// SweepInferer is an Inferer that can compile itself into a sweep. The
+// program must only reference b and the model's parameters; it is run
+// after BuildSweep returns, possibly concurrently across row ranges.
+type SweepInferer interface {
+	Inferer
+	BuildSweep(b *Batch) *SweepProgram
+}
+
+// CanSweep reports whether m compiles to a full-graph sweep.
+func CanSweep(m Model) bool {
+	_, ok := m.(SweepInferer)
+	return ok
+}
+
+// BuildSweepFor compiles m's sweep program over b, or reports false for
+// models without a sweep decomposition.
+func BuildSweepFor(m Model, b *Batch) (*SweepProgram, bool) {
+	si, ok := m.(SweepInferer)
+	if !ok {
+		return nil, false
+	}
+	return si.BuildSweep(b), true
+}
+
+// NewSweepProgram starts an empty program over n nodes.
+func NewSweepProgram(n int) *SweepProgram {
+	return &SweepProgram{NumNodes: n, free: make(map[[2]int][]*tensor.Matrix)}
+}
+
+// Step appends a barrier-separated stage.
+func (p *SweepProgram) Step(name string, run func(f *Fwd, lo, hi int)) {
+	p.Steps = append(p.Steps, SweepStep{Name: name, Run: run})
+}
+
+// Alloc returns a rows×cols activation buffer, recycling a retired one
+// of the same shape when available. Recycled buffers hold a dead earlier
+// step's run-time values, so every step must clear the row range it
+// accumulates into before accumulating (see ClearRows).
+func (p *SweepProgram) Alloc(rows, cols int) *tensor.Matrix {
+	k := [2]int{rows, cols}
+	if l := p.free[k]; len(l) > 0 {
+		m := l[len(l)-1]
+		p.free[k] = l[:len(l)-1]
+		return m
+	}
+	m := tensor.GetMatrix(rows, cols)
+	p.owned = append(p.owned, m)
+	return m
+}
+
+// Retire marks buffers dead for recycling. Call at build time, after
+// appending the last step that reads the buffer: a later step's output
+// may then share its storage, which is safe at run time because steps
+// execute strictly in order with barriers. Never retire b.X — the
+// program does not own it.
+func (p *SweepProgram) Retire(ms ...*tensor.Matrix) {
+	for _, m := range ms {
+		k := [2]int{m.Rows, m.Cols}
+		p.free[k] = append(p.free[k], m)
+	}
+}
+
+// Release returns every owned buffer (including Logits) to the tensor
+// pool. The program must not be run or read afterwards.
+func (p *SweepProgram) Release() {
+	for _, m := range p.owned {
+		tensor.PutMatrix(m)
+	}
+	p.owned, p.free, p.Logits, p.Steps = nil, nil, nil, nil
+}
+
+// RunSerial executes the program on a single goroutine — the reference
+// executor the parallel engine is tested against, and a convenient way
+// to run a program without pulling in internal/sweep.
+func (p *SweepProgram) RunSerial(f *Fwd) *tensor.Matrix {
+	for _, st := range p.Steps {
+		st.Run(f, 0, p.NumNodes)
+	}
+	return p.Logits
+}
+
+// ClearRows zeroes rows [lo, hi) of m: accumulate-style kernels require
+// zeroed destinations, and recycled sweep buffers arrive dirty.
+func ClearRows(m *tensor.Matrix, lo, hi int) {
+	clear(m.Data[lo*m.Cols : hi*m.Cols])
+}
+
+// AppendHead appends the classification MLP as one rowwise step (dense
+// matmuls read only their own input rows, so no barriers are needed
+// between MLP layers) and sets Logits. The arithmetic mirrors Fwd.MLP.
+func (p *SweepProgram) AppendHead(head *nn.MLP, h *tensor.Matrix, x *tensor.Matrix) {
+	outs := make([]*tensor.Matrix, len(head.Layers))
+	for i, l := range head.Layers {
+		outs[i] = p.Alloc(p.NumNodes, l.W.Value.Cols)
+	}
+	p.Step("head", func(f *Fwd, lo, hi int) {
+		cur := h
+		for i, l := range head.Layers {
+			out := outs[i]
+			ClearRows(out, lo, hi)
+			tensor.MatMulRangeInto(out, cur, l.W.Value, lo, hi)
+			ov := out.RowsView(lo, hi)
+			ov.AddRowVectorInPlace(l.B.Value)
+			if i+1 < len(head.Layers) {
+				head.Hidden.ApplyInPlace(ov)
+			}
+			cur = out
+		}
+	})
+	if h != x {
+		p.Retire(h)
+	}
+	p.Retire(outs[:len(outs)-1]...)
+	p.Logits = outs[len(outs)-1]
+}
+
+// BuildSweep implements SweepInferer for GCN: one step per graph layer
+// (gather rows of A×h, then the row's linear+bias+ReLU — identical
+// per-row arithmetic to Infer), then the head.
+func (m *GCN) BuildSweep(b *Batch) *SweepProgram {
+	adj := b.MergedRWCSR()
+	p := NewSweepProgram(b.NumNodes)
+	h := b.X
+	for li, l := range m.layers {
+		in, l := h, l
+		agg := p.Alloc(b.NumNodes, in.Cols)
+		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
+		p.Step(fmt.Sprintf("gcn.l%d", li), func(f *Fwd, lo, hi int) {
+			ClearRows(agg, lo, hi)
+			adj.MatMulRangeInto(agg, in, lo, hi)
+			ClearRows(out, lo, hi)
+			tensor.MatMulRangeInto(out, agg, l.W.Value, lo, hi)
+			ov := out.RowsView(lo, hi)
+			tensor.ReLUInPlace(ov.AddRowVectorInPlace(l.B.Value))
+		})
+		p.Retire(agg)
+		if in != b.X {
+			p.Retire(in)
+		}
+		h = out
+	}
+	p.AppendHead(m.head, h, b.X)
+	return p
+}
+
+// BuildSweep implements SweepInferer for GraphSAGE: each layer gathers
+// the neighbor mean and runs the split matmul of Infer on its row range.
+func (m *GraphSAGE) BuildSweep(b *Batch) *SweepProgram {
+	adj := b.MergedMeanCSR()
+	p := NewSweepProgram(b.NumNodes)
+	h := b.X
+	for li, l := range m.layers {
+		in, l := h, l
+		agg := p.Alloc(b.NumNodes, in.Cols)
+		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
+		p.Step(fmt.Sprintf("sage.l%d", li), func(f *Fwd, lo, hi int) {
+			ClearRows(agg, lo, hi)
+			adj.MatMulRangeInto(agg, in, lo, hi)
+			ClearRows(out, lo, hi)
+			tensor.MatMulSplitRangeInto(out, in, agg, l.W.Value, lo, hi)
+			ov := out.RowsView(lo, hi)
+			tensor.ReLUInPlace(ov.AddRowVectorInPlace(l.B.Value))
+		})
+		p.Retire(agg)
+		if in != b.X {
+			p.Retire(in)
+		}
+		h = out
+	}
+	p.AppendHead(m.head, h, b.X)
+	return p
+}
+
+// BuildSweep implements SweepInferer for GAT. Each layer compiles to two
+// steps. Projection: per head, wh = h×W and the node-level attention
+// scores s = wh×att (rowwise). Attention: for each destination row, the
+// incident edges' scores, LeakyReLU, segment softmax and α-weighted
+// aggregation — every edge belongs to exactly one destination segment,
+// so partitioning by destination rows partitions the edges, and the
+// per-edge/per-segment arithmetic replicates Infer's SegmentSoftmax and
+// scatter matmul exactly. Heads aggregate directly into their column
+// block of the concatenated output.
+func (m *GAT) BuildSweep(b *Batch) *SweepProgram {
+	st := b.gatStruct()
+	p := NewSweepProgram(b.NumNodes)
+	n := b.NumNodes
+	nE := len(st.src)
+	h := b.X
+	for li, layer := range m.layers {
+		in, layer := h, layer
+		heads := layer.heads
+		headCols := heads[0].w.Value.Cols
+		whs := make([]*tensor.Matrix, len(heads))
+		sSrcs := make([]*tensor.Matrix, len(heads))
+		sDsts := make([]*tensor.Matrix, len(heads))
+		for k := range heads {
+			whs[k] = p.Alloc(n, headCols)
+			sSrcs[k] = p.Alloc(n, 1)
+			sDsts[k] = p.Alloc(n, 1)
+		}
+		score := p.Alloc(nE, 1)
+		alpha := p.Alloc(nE, 1)
+		out := p.Alloc(n, headCols*len(heads))
+		p.Step(fmt.Sprintf("gat.l%d.proj", li), func(f *Fwd, lo, hi int) {
+			for k, hd := range heads {
+				ClearRows(whs[k], lo, hi)
+				tensor.MatMulRangeInto(whs[k], in, hd.w.Value, lo, hi)
+				ClearRows(sSrcs[k], lo, hi)
+				tensor.MatMulRangeInto(sSrcs[k], whs[k], hd.attSrc.Value, lo, hi)
+				ClearRows(sDsts[k], lo, hi)
+				tensor.MatMulRangeInto(sDsts[k], whs[k], hd.attDst.Value, lo, hi)
+			}
+		})
+		p.Step(fmt.Sprintf("gat.l%d.attn", li), func(f *Fwd, lo, hi int) {
+			for k := range heads {
+				wh, sSrc, sDst := whs[k], sSrcs[k], sDsts[k]
+				off := k * headCols
+				for i := lo; i < hi; i++ {
+					seg := st.segments[i]
+					mx := math.Inf(-1)
+					for _, e := range seg {
+						s := sSrc.Data[st.src[e]] + sDst.Data[st.dst[e]]
+						if s <= 0 {
+							s *= 0.2
+						}
+						score.Data[e] = s
+						if s > mx {
+							mx = s
+						}
+					}
+					var sum float64
+					for _, e := range seg {
+						x := math.Exp(score.Data[e] - mx)
+						alpha.Data[e] = x
+						sum += x
+					}
+					if sum != 0 {
+						for _, e := range seg {
+							alpha.Data[e] /= sum
+						}
+					}
+					drow := out.Data[i*out.Cols+off : i*out.Cols+off+headCols]
+					clear(drow)
+					for pp := st.scatter.RowPtr[i]; pp < st.scatter.RowPtr[i+1]; pp++ {
+						w := alpha.Data[st.scatter.ColIdx[pp]]
+						src := wh.Row(st.nodeCol[pp])
+						for j, v := range src {
+							drow[j] += w * v
+						}
+					}
+				}
+			}
+			tensor.ReLUInPlace(out.RowsView(lo, hi))
+		})
+		p.Retire(score, alpha)
+		for k := range heads {
+			p.Retire(whs[k], sSrcs[k], sDsts[k])
+		}
+		if in != b.X {
+			p.Retire(in)
+		}
+		h = out
+	}
+	p.AppendHead(m.head, h, b.X)
+	return p
+}

@@ -1,0 +1,109 @@
+package gnn
+
+import (
+	"testing"
+)
+
+// inferLogits runs the tape-free forward and copies out the logits.
+func inferLogits(m Model, b *Batch) []float64 {
+	f := AcquireFwd()
+	defer ReleaseFwd(f)
+	logits := m.(Inferer).Infer(f, b)
+	return append([]float64(nil), logits.Data[:b.NumNodes]...)
+}
+
+// TestSweepProgramMatchesInfer pins the compiled sweep program, executed
+// by the serial reference executor, to Infer's logits bitwise for every
+// baseline model: the steps run the identical per-row kernels over the
+// same batch, so any difference at all is a compilation bug.
+func TestSweepProgramMatchesInfer(t *testing.T) {
+	for _, m := range inferModels(5) {
+		if !CanSweep(m) {
+			t.Fatalf("%s does not implement SweepInferer", m.Name())
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			b := randomBatch(t, seed, 24, 2, 5)
+			want := inferLogits(m, b)
+			prog, ok := BuildSweepFor(m, b)
+			if !ok {
+				t.Fatalf("%s: BuildSweepFor refused", m.Name())
+			}
+			f := AcquireFwd()
+			out := prog.RunSerial(f)
+			for i, w := range want {
+				if out.Data[i] != w {
+					t.Fatalf("%s seed %d node %d: sweep logit %v, infer %v",
+						m.Name(), seed, i, out.Data[i], w)
+				}
+			}
+			ReleaseFwd(f)
+			prog.Release()
+		}
+	}
+}
+
+// TestSweepProgramRecyclesBuffers checks the build-time liveness pass: a
+// deep same-width GCN must reuse retired activation buffers (so resident
+// memory stays ~two layers regardless of depth), and the recycled —
+// hence dirty — buffers must still produce Infer's exact logits because
+// every step clears its destination rows.
+func TestSweepProgramRecyclesBuffers(t *testing.T) {
+	cfg := Config{InDim: 6, Hidden: []int{8, 8, 8, 8, 8}, MLPHidden: 4, Seed: 3}
+	m := NewGCN(cfg)
+	b := randomBatch(t, 9, 30, 2, 6)
+	prog := m.BuildSweep(b)
+	// Naively the program would own 2 buffers per graph layer plus the
+	// MLP outputs (12 here); recycling caps distinct allocations.
+	naive := 2*len(cfg.Hidden) + 2
+	if len(prog.owned) >= naive {
+		t.Fatalf("no buffer recycling: %d owned buffers, naive count %d", len(prog.owned), naive)
+	}
+	want := inferLogits(m, b)
+	f := AcquireFwd()
+	out := prog.RunSerial(f)
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("recycled program diverges at node %d: %v vs %v", i, out.Data[i], w)
+		}
+	}
+	ReleaseFwd(f)
+	prog.Release()
+}
+
+// tapeOnlyModel hides Inferer/SweepInferer so only the tape path remains.
+type tapeOnlyModel struct{ Model }
+
+// TestScoresDispatch pins the shared kernel-dispatch helper: Inferer
+// models score through InferScoresInto, non-Inferer models fall back to
+// the tape, and Scores agrees with both bitwise.
+func TestScoresDispatch(t *testing.T) {
+	cfg := Config{InDim: 5, Hidden: []int{8, 6}, MLPHidden: 4, Seed: 2}
+	m := NewGCN(cfg)
+	b := randomBatch(t, 4, 20, 2, 5)
+
+	out := make([]float64, b.NumNodes)
+	if !InferScoresInto(out, m, b) {
+		t.Fatalf("InferScoresInto refused an Inferer model")
+	}
+	got := Scores(m, b)
+	for i := range out {
+		if got[i] != out[i] {
+			t.Fatalf("Scores diverges from InferScoresInto at node %d", i)
+		}
+	}
+
+	wrapped := tapeOnlyModel{m}
+	if CanInfer(wrapped) || CanSweep(wrapped) {
+		t.Fatalf("wrapper failed to hide the fast paths")
+	}
+	if InferScoresInto(out, wrapped, b) {
+		t.Fatalf("InferScoresInto accepted a tape-only model")
+	}
+	tape := TapeScores(m, b)
+	gotTape := Scores(wrapped, b)
+	for i := range tape {
+		if gotTape[i] != tape[i] {
+			t.Fatalf("tape fallback diverges at node %d", i)
+		}
+	}
+}

@@ -112,17 +112,38 @@ func Train(m Model, b *Batch, trainIdx []int, labels []float64, cfg TrainConfig)
 // are scored on the tape-free fast path (identical arithmetic, no tape
 // or gradient bookkeeping); others fall back to TapeScores.
 func Scores(m Model, b *Batch) []float64 {
-	if inf, ok := m.(Inferer); ok {
-		f := AcquireFwd()
-		defer ReleaseFwd(f)
-		logits := inf.Infer(f, b)
-		out := make([]float64, b.NumNodes)
-		for i := 0; i < b.NumNodes; i++ {
-			out[i] = tensor.SigmoidScalar(logits.Data[i])
-		}
+	out := make([]float64, b.NumNodes)
+	if InferScoresInto(out, m, b) {
 		return out
 	}
 	return TapeScores(m, b)
+}
+
+// InferScoresInto is the shared kernel dispatch behind Scores and the
+// full-graph sweep engine's fallback: it scores every node of the batch
+// through the tape-free Infer kernels into out (length NumNodes) and
+// reports false for models without an Infer implementation. Keeping one
+// dispatch point means the tape, infer, and sweep paths cannot drift in
+// how logits become probabilities.
+func InferScoresInto(out []float64, m Model, b *Batch) bool {
+	inf, ok := m.(Inferer)
+	if !ok {
+		return false
+	}
+	f := AcquireFwd()
+	defer ReleaseFwd(f)
+	logits := inf.Infer(f, b)
+	SigmoidScoresInto(out, logits.Data[:b.NumNodes])
+	return true
+}
+
+// SigmoidScoresInto converts a logit slice to fraud probabilities with
+// the serving sigmoid; every scoring path (Scores, the sweep engine's
+// per-shard emit, TapeScores' loop) must use this same scalar.
+func SigmoidScoresInto(dst, logits []float64) {
+	for i, v := range logits {
+		dst[i] = tensor.SigmoidScalar(v)
+	}
 }
 
 // TapeScores is the tape-backed evaluation path, kept for models without

@@ -1,0 +1,155 @@
+package hag
+
+import (
+	"fmt"
+
+	"turbo/internal/autodiff"
+	"turbo/internal/gnn"
+	"turbo/internal/tensor"
+)
+
+// sweep.go compiles HAG into a layer-at-a-time full-graph program (see
+// internal/gnn/sweep.go for the framework and equivalence contract).
+// saoLayer.infer is row-wise everywhere except the neighborhood
+// aggregation, so each (stream, layer) pair becomes one barrier-
+// separated step: gather the row range's neighbor means, then run the
+// unchanged SAO arithmetic on those rows. The CFO fusion — micro
+// attention scores, node-wise softmax over types, macro transforms — is
+// row-wise given every stream's final embedding, so it compiles to a
+// single step after all streams.
+
+// saoScratch is the full-height scratch of one SAO sweep step. out
+// doubles as the selfT accumulator and becomes the layer's output, as
+// in saoLayer.infer.
+type saoScratch struct {
+	hN, out, neighT    *tensor.Matrix
+	tS, tN, aS, aN, al *tensor.Matrix // gated form only
+}
+
+// sweepRange runs saoLayer.infer's per-row arithmetic on rows [lo, hi):
+// identical kernel sequence (self/neighbor transforms, tanh-ed split
+// attention matmuls, row softmax, gated add, ReLU), restricted to the
+// range via the bitwise-equal range kernels.
+func (l *saoLayer) sweepRange(s *saoScratch, in *tensor.Matrix, gated bool, lo, hi int) {
+	gnn.ClearRows(s.out, lo, hi)
+	tensor.MatMulRangeInto(s.out, in, l.wls.Value, lo, hi) // H·W_ls
+	gnn.ClearRows(s.neighT, lo, hi)
+	tensor.MatMulRangeInto(s.neighT, s.hN, l.wln.Value, lo, hi) // h_N·W_ln
+	ov := s.out.RowsView(lo, hi)
+	nv := s.neighT.RowsView(lo, hi)
+	if !gated {
+		tensor.ReLUInPlace(ov.AddInPlace(nv))
+		return
+	}
+	gnn.ClearRows(s.tS, lo, hi)
+	tensor.MatMulRangeInto(s.tS, in, l.ws.Value, lo, hi)
+	tensor.TanhInPlace(s.tS.RowsView(lo, hi))
+	gnn.ClearRows(s.tN, lo, hi)
+	tensor.MatMulRangeInto(s.tN, s.hN, l.wn.Value, lo, hi)
+	tensor.TanhInPlace(s.tN.RowsView(lo, hi))
+	gnn.ClearRows(s.aS, lo, hi)
+	tensor.MatMulSplitRangeInto(s.aS, s.tS, s.tS, l.p.Value, lo, hi)
+	gnn.ClearRows(s.aN, lo, hi)
+	tensor.MatMulSplitRangeInto(s.aN, s.tN, s.tS, l.p.Value, lo, hi)
+	av := s.al.RowsView(lo, hi)
+	tensor.ConcatColsInto(av, s.aS.RowsView(lo, hi), s.aN.RowsView(lo, hi))
+	tensor.SoftmaxRowsInPlace(av)
+	scaleRowsByCol(ov, av, 0)
+	scaleRowsByCol(nv, av, 1)
+	tensor.ReLUInPlace(ov.AddInPlace(nv))
+}
+
+// buildStream appends one SAO stack's steps and returns its final
+// embedding buffer.
+func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack []*saoLayer, adj *autodiff.CSR) *tensor.Matrix {
+	gated := !m.cfg.DisableSAOGate
+	n := b.NumNodes
+	h := b.X
+	for li, l := range stack {
+		in, l := h, l
+		sc := &saoScratch{
+			hN:     p.Alloc(n, in.Cols),
+			out:    p.Alloc(n, l.out),
+			neighT: p.Alloc(n, l.out),
+		}
+		if gated {
+			att := l.ws.Value.Cols
+			sc.tS = p.Alloc(n, att)
+			sc.tN = p.Alloc(n, att)
+			sc.aS = p.Alloc(n, 1)
+			sc.aN = p.Alloc(n, 1)
+			sc.al = p.Alloc(n, 2)
+		}
+		p.Step(fmt.Sprintf("%s.l%d", name, li), func(f *gnn.Fwd, lo, hi int) {
+			gnn.ClearRows(sc.hN, lo, hi)
+			adj.MatMulRangeInto(sc.hN, in, lo, hi)
+			l.sweepRange(sc, in, gated, lo, hi)
+		})
+		p.Retire(sc.hN, sc.neighT)
+		if gated {
+			p.Retire(sc.tS, sc.tN, sc.aS, sc.aN, sc.al)
+		}
+		if in != b.X {
+			p.Retire(in)
+		}
+		h = sc.out
+	}
+	return h
+}
+
+// BuildSweep implements gnn.SweepInferer for HAG and all its ablation
+// variants: per-type SAO streams (or the single merged stream of
+// CFO(-)), the CFO fusion step, then the head.
+func (m *HAG) BuildSweep(b *gnn.Batch) *gnn.SweepProgram {
+	p := gnn.NewSweepProgram(b.NumNodes)
+	n := b.NumNodes
+	if m.cfg.DisableCFO {
+		h := m.buildStream(p, b, "hag.s0", m.streams[0], b.MergedWeightedMeanCSR())
+		p.AppendHead(m.head, h, b.X)
+		return p
+	}
+	nTypes := m.cfg.NumEdgeTypes
+	typeEmb := make([]*tensor.Matrix, nTypes)
+	for r := 0; r < nTypes; r++ {
+		typeEmb[r] = m.buildStream(p, b, fmt.Sprintf("hag.s%d", r), m.streams[r], b.TypedMeanCSR(r))
+	}
+	tmp := p.Alloc(n, m.cfg.AttHidden)
+	sCol := p.Alloc(n, 1)
+	scores := p.Alloc(n, nTypes)
+	fused := p.Alloc(n, m.cfg.FusedDim)
+	term := p.Alloc(n, m.cfg.FusedDim)
+	p.Step("hag.cfo", func(f *gnn.Fwd, lo, hi int) {
+		// Eq. 12 micro scores per type, then the node-wise softmax.
+		for r := 0; r < nTypes; r++ {
+			gnn.ClearRows(tmp, lo, hi)
+			tensor.MatMulRangeInto(tmp, typeEmb[r], m.cfo[r].wAtt.Value, lo, hi)
+			tensor.TanhInPlace(tmp.RowsView(lo, hi))
+			gnn.ClearRows(sCol, lo, hi)
+			tensor.MatMulRangeInto(sCol, tmp, m.cfo[r].vAtt.Value, lo, hi)
+			for i := lo; i < hi; i++ {
+				scores.Set(i, r, sCol.Data[i])
+			}
+		}
+		av := scores.RowsView(lo, hi)
+		tensor.SoftmaxRowsInPlace(av)
+		// Eq. 13–15: type 0's term lands directly in fused (Infer adopts
+		// the first term as the accumulator), the rest add in type order.
+		gnn.ClearRows(fused, lo, hi)
+		tensor.MatMulRangeInto(fused, typeEmb[0], m.cfo[0].m.Value, lo, hi)
+		scaleRowsByCol(fused.RowsView(lo, hi), av, 0)
+		for r := 1; r < nTypes; r++ {
+			gnn.ClearRows(term, lo, hi)
+			tensor.MatMulRangeInto(term, typeEmb[r], m.cfo[r].m.Value, lo, hi)
+			scaleRowsByCol(term.RowsView(lo, hi), av, r)
+			fused.RowsView(lo, hi).AddInPlace(term.RowsView(lo, hi))
+		}
+	})
+	p.Retire(tmp, sCol, scores, term)
+	for _, emb := range typeEmb {
+		if emb != b.X {
+			p.Retire(emb)
+		}
+	}
+	p.AppendHead(m.head, fused, b.X)
+	return p
+}

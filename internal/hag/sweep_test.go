@@ -1,0 +1,39 @@
+package hag
+
+import (
+	"testing"
+
+	"turbo/internal/gnn"
+)
+
+// TestHAGSweepMatchesInfer pins the compiled sweep program to Infer's
+// logits bitwise for every ablation variant (gated/ungated SAO × with/
+// without CFO): the per-(stream,layer) steps and the CFO fusion step run
+// the identical per-row kernels over the same batch.
+func TestHAGSweepMatchesInfer(t *testing.T) {
+	for _, m := range hagVariants(1) {
+		if !gnn.CanSweep(m) {
+			t.Fatalf("%s does not implement gnn.SweepInferer", m.Name())
+		}
+		for seed := uint64(1); seed <= 4; seed++ {
+			b := randomHagBatch(seed, 24, 2, 5)
+			f := gnn.AcquireFwd()
+			want := append([]float64(nil), m.Infer(f, b).Data[:b.NumNodes]...)
+			gnn.ReleaseFwd(f)
+			prog, ok := gnn.BuildSweepFor(m, b)
+			if !ok {
+				t.Fatalf("%s: BuildSweepFor refused", m.Name())
+			}
+			f2 := gnn.AcquireFwd()
+			out := prog.RunSerial(f2)
+			for i, w := range want {
+				if out.Data[i] != w {
+					t.Fatalf("%s seed %d node %d: sweep logit %v, infer %v",
+						m.Name(), seed, i, out.Data[i], w)
+				}
+			}
+			gnn.ReleaseFwd(f2)
+			prog.Release()
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 //	GET  /readyz            readiness: snapshot, model, breaker state
 //	POST /admin/checkpoint  force a full-state checkpoint now
 //	POST /admin/retrain     run one retrain pass now
+//	POST /admin/sweep       re-score every user via one full-graph sweep
 //
 // Error contract: wrong method → 405, bad parameters → 400, unknown
 // user → 404, shed load → 429, uncaught deadline → 504, anything else →
@@ -45,6 +46,9 @@ type API struct {
 	// Admin holds the operational hooks behind /admin/*; nil hooks
 	// answer 503.
 	Admin AdminHooks
+	// Sweep, when set, surfaces the full-graph sweep engine's progress in
+	// /stats (in-flight count and last report).
+	Sweep *SweepEngine
 	mux   *http.ServeMux
 
 	// notReady gates /readyz and the admin endpoints during boot-time
@@ -59,6 +63,9 @@ type AdminHooks struct {
 	Checkpoint func() (persist.CheckpointInfo, error)
 	// Retrain runs one retrain pass synchronously.
 	Retrain func() error
+	// Sweep re-scores every audit-eligible user via one full-graph sweep
+	// and returns its report.
+	Sweep func() (SweepReport, error)
 }
 
 // NewAPI builds the HTTP handler around a prediction server.
@@ -76,6 +83,7 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/readyz", requireGET(a.handleReadyz))
 	a.mux.HandleFunc("/admin/checkpoint", a.handleAdminCheckpoint)
 	a.mux.HandleFunc("/admin/retrain", a.handleAdminRetrain)
+	a.mux.HandleFunc("/admin/sweep", a.handleAdminSweep)
 	return a
 }
 
@@ -237,7 +245,7 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := a.BN.Snapshot()
 	st := snap.Stats()
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"nodes":          st.Nodes,
 		"edges":          st.Edges,
 		"edges_by_type":  st.EdgesByType,
@@ -245,7 +253,15 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshot_epoch": snap.Epoch(),
 		"served_by":      a.Pred.ServedCounts(),
 		"breaker":        a.Pred.BreakerState(),
-	})
+	}
+	if a.Sweep != nil {
+		sweep := map[string]any{"in_flight": a.Sweep.InFlight()}
+		if rep, ok := a.Sweep.LastReport(); ok {
+			sweep["last"] = rep
+		}
+		body["sweep"] = sweep
+	}
+	writeJSON(w, body)
 }
 
 // handleSubgraph renders a user's computation subgraph as Graphviz DOT
@@ -319,6 +335,25 @@ func (a *API) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"retrained": true})
+}
+
+// handleAdminSweep runs one synchronous full-graph re-score and returns
+// its report.
+func (a *API) handleAdminSweep(w http.ResponseWriter, r *http.Request) {
+	if !a.requirePOSTReady(w, r) {
+		return
+	}
+	if a.Admin.Sweep == nil {
+		http.Error(w, "sweeping not configured", http.StatusServiceUnavailable)
+		return
+	}
+	rep, err := a.Admin.Sweep()
+	if err != nil {
+		a.logf("admin/sweep: %v", err)
+		http.Error(w, "sweep failed", http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.

@@ -28,6 +28,7 @@ type ModelManager struct {
 
 	artifacts *persist.ModelStore
 	extras    func() persist.Extras
+	resweep   func()
 
 	retrains  int
 	lastError error
@@ -46,6 +47,18 @@ func (m *ModelManager) SetArtifacts(store *persist.ModelStore, extras func() per
 	m.mu.Lock()
 	m.artifacts = store
 	m.extras = extras
+	m.mu.Unlock()
+}
+
+// SetResweep installs a hook invoked after every accepted swap — the
+// sweep engine re-scores the whole graph there so the last-known-score
+// cache reflects the new model immediately, not at each user's next
+// audit. The hook runs outside the manager lock (a sweep can take a
+// while) but still inside the retrain pass, so /admin/retrain returns
+// with the re-score complete.
+func (m *ModelManager) SetResweep(fn func()) {
+	m.mu.Lock()
+	m.resweep = fn
 	m.mu.Unlock()
 }
 
@@ -69,9 +82,9 @@ func (m *ModelManager) runTrain() (model gnn.Model, norm func([]float64) []float
 func (m *ModelManager) RetrainOnce() error {
 	model, norm, err := m.runTrain()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err != nil {
 		m.lastError = err
+		m.mu.Unlock()
 		m.pred.Tel.RetrainFailed()
 		return fmt.Errorf("server: retrain: %w", err)
 	}
@@ -91,6 +104,11 @@ func (m *ModelManager) RetrainOnce() error {
 		} else {
 			m.pred.Tel.ArtifactSaved(true)
 		}
+	}
+	resweep := m.resweep
+	m.mu.Unlock()
+	if resweep != nil {
+		resweep()
 	}
 	return nil
 }

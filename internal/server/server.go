@@ -321,6 +321,19 @@ func (s *BNServer) SetViewWrapper(w func(graph.GraphView) graph.GraphView) { s.v
 // Store exposes the log store (used by the feature service).
 func (s *BNServer) Store() *behavior.Store { return s.store }
 
+// TxnFilter returns the audit-eligibility filter — users with a
+// registered transaction (§III-A). The closure is safe for concurrent
+// use; the sweep engine applies it to the full snapshot node set the
+// same way Sample applies it to a neighborhood.
+func (s *BNServer) TxnFilter() func(graph.NodeID) bool {
+	return func(n graph.NodeID) bool {
+		s.txnMu.RLock()
+		ok := s.hasTxn[behavior.UserID(n)]
+		s.txnMu.RUnlock()
+		return ok
+	}
+}
+
 // Sample extracts the computation subgraph of user u, restricted to
 // users with transactions, recording the sampling latency (Fig. 8a).
 // When u is in the current snapshot (the steady state), sampling walks
@@ -328,12 +341,7 @@ func (s *BNServer) Store() *behavior.Store { return s.store }
 func (s *BNServer) Sample(u behavior.UserID) *graph.Subgraph {
 	var sg *graph.Subgraph
 	s.SamplingLatency.Time(func() {
-		filter := func(n graph.NodeID) bool {
-			s.txnMu.RLock()
-			ok := s.hasTxn[behavior.UserID(n)]
-			s.txnMu.RUnlock()
-			return ok
-		}
+		filter := s.TxnFilter()
 		view := s.View(u)
 		if s.viewWrap != nil {
 			view = s.viewWrap(view)
@@ -552,6 +560,27 @@ func (p *PredictionServer) SetFeatureSource(src feature.Source) {
 	p.mu.Lock()
 	p.feats = src
 	p.mu.Unlock()
+}
+
+// Serving returns the feature source, model and normalizer currently
+// serving audits, as one consistent read (the same triple PredictCtx
+// snapshots at the top of every audit).
+func (p *PredictionServer) Serving() (feature.Source, gnn.Model, func([]float64) []float64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.feats, p.model, p.Normalizer
+}
+
+// RememberScores bulk-installs freshly computed scores into the
+// last-known-score cache (tier 3 of the degradation ladder). The sweep
+// engine calls it after re-scoring the graph, so a later feature outage
+// serves sweep-fresh scores instead of stale ones.
+func (p *PredictionServer) RememberScores(users []behavior.UserID, probs []float64) {
+	p.lastMu.Lock()
+	for i, u := range users {
+		p.last[u] = probs[i]
+	}
+	p.lastMu.Unlock()
 }
 
 // ModelLoaded reports whether a serving model is attached (readiness).

@@ -62,6 +62,10 @@ type TelemetryOptions struct {
 //	turbo_recovery_replayed_events        WAL records re-applied at boot
 //	turbo_retrain_failures_total          retrain passes that errored or panicked
 //	turbo_model_artifacts_total{result}   model artifact saves by result
+//	turbo_sweep_seconds                   full-graph sweep wall-clock latency histogram
+//	turbo_sweep_shard_seconds             per-shard sweep compute-time histogram
+//	turbo_sweep_nodes_total               nodes scored by full-graph sweeps
+//	turbo_sweep_inflight                  full-graph sweeps currently running
 type Telemetry struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
@@ -93,6 +97,10 @@ type Telemetry struct {
 	retrainFails   *telemetry.Counter
 	artifactOK     *telemetry.Counter
 	artifactErr    *telemetry.Counter
+
+	sweepSeconds      *telemetry.Histogram
+	sweepShardSeconds *telemetry.Histogram
+	sweepNodes        *telemetry.Counter
 }
 
 // Audit pipeline stages, the label values of turbo_audit_stage_seconds.
@@ -171,6 +179,13 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 		"Model artifact save attempts by result.", "result")
 	t.artifactOK = artifacts.With("saved")
 	t.artifactErr = artifacts.With("error")
+
+	t.sweepSeconds = reg.Histogram("turbo_sweep_seconds",
+		"Full-graph sweep wall-clock latency.", opts.Buckets)
+	t.sweepShardSeconds = reg.Histogram("turbo_sweep_shard_seconds",
+		"Per-shard compute time within full-graph sweeps (spread = shard imbalance).", opts.Buckets)
+	t.sweepNodes = reg.Counter("turbo_sweep_nodes_total",
+		"Nodes scored by full-graph sweeps.")
 
 	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if opts.Logger != nil {
@@ -356,6 +371,30 @@ func (t *Telemetry) WirePersist(m *persist.Manager) {
 			}
 			return time.Since(at).Seconds()
 		})
+}
+
+// ObserveSweep records one completed full-graph sweep: wall-clock
+// latency, nodes scored, and every shard's compute time.
+func (t *Telemetry) ObserveSweep(elapsed time.Duration, nodes int, shards []time.Duration) {
+	if t == nil {
+		return
+	}
+	t.sweepSeconds.ObserveDuration(elapsed)
+	t.sweepNodes.Add(int64(nodes))
+	for _, d := range shards {
+		t.sweepShardSeconds.ObserveDuration(d)
+	}
+}
+
+// RegisterSweepGauge registers turbo_sweep_inflight as a scrape-time
+// gauge reading the sweep engine's in-flight count. Re-registering
+// replaces the callback.
+func (t *Telemetry) RegisterSweepGauge(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_sweep_inflight",
+		"Full-graph sweeps currently running.", fn)
 }
 
 // RetrainFailed counts one failed (errored or panicked) retrain pass.

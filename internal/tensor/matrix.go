@@ -148,6 +148,44 @@ func (m *Matrix) RowView(i int) *Matrix {
 	return &Matrix{Rows: 1, Cols: m.Cols, Data: m.Row(i)}
 }
 
+// RowsView returns a (hi−lo)×Cols matrix sharing rows [lo, hi) of m's
+// storage. Mutating the view mutates m.
+func (m *Matrix) RowsView(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: rowsView [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// MatMulRangeInto computes rows [lo, hi) of dst = a × b sequentially,
+// accumulating into zeroed dst rows. It is the caller-partitioned
+// variant of MatMulInto: per-row arithmetic (skip-zero test, k-major
+// accumulation order) is identical, so splitting [0, Rows) across any
+// contiguous partition yields results bitwise equal to one MatMulInto
+// call. dst rows outside [lo, hi) are untouched.
+func MatMulRangeInto(dst, a, b *Matrix, lo, hi int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulRangeInto shape mismatch")
+	}
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: MatMulRangeInto range [%d,%d) of %d rows", lo, hi, a.Rows))
+	}
+	matMulRange(dst, a, b, lo, hi)
+}
+
+// MatMulSplitRangeInto computes rows [lo, hi) of [a1 | a2] × b into dst
+// sequentially; the caller-partitioned variant of MatMulSplitInto with
+// the same bitwise-equality guarantee as MatMulRangeInto.
+func MatMulSplitRangeInto(dst, a1, a2, b *Matrix, lo, hi int) {
+	if a1.Rows != a2.Rows || a1.Cols+a2.Cols != b.Rows || dst.Rows != a1.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulSplitRangeInto shape mismatch")
+	}
+	if lo < 0 || hi > a1.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: MatMulSplitRangeInto range [%d,%d) of %d rows", lo, hi, a1.Rows))
+	}
+	matMulSplitRange(dst, a1, a2, b, a1.Cols*b.Cols, lo, hi)
+}
+
 // MatMulSplitInto computes [a1 | a2] × b into dst without materializing
 // the column concatenation: b's first a1.Cols rows pair with a1, the
 // rest with a2. The accumulation order (and the parallel row partition)

@@ -2,9 +2,10 @@
 # Hot-path benchmark harness: runs the tape-vs-infer, batch-compile,
 # audit, WAL-append and recovery-replay benchmarks with allocation
 # reporting and writes a JSON snapshot to BENCH_infer.json (ns/op, B/op,
-# allocs/op per benchmark).
+# allocs/op per benchmark). Then races the full-graph sweep against the
+# naive score-everyone loop and writes BENCH_sweep.json with the speedup.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 200x)
+# Usage: scripts/bench.sh [benchtime] [sweep_benchtime]   (default 200x / 5x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,3 +42,26 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+
+# --- Full-graph sweep vs naive score-everyone loop ---------------------------
+SWEEP_BENCHTIME="${2:-5x}"
+SWEEP_OUT="BENCH_sweep.json"
+SWEEP_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SWEEP_RAW"' EXIT
+
+echo "== go test -bench sweep vs naive (benchtime=$SWEEP_BENCHTIME)"
+go test -run 'XXX-none' -bench 'BenchmarkFullGraphSweep|BenchmarkScoreEveryoneNaive' \
+    -benchtime "$SWEEP_BENCHTIME" . | tee "$SWEEP_RAW"
+
+# Lines look like: BenchmarkFullGraphSweep-N  iters  ns/op  nodes  nodes/sweep
+awk -v benchtime="$SWEEP_BENCHTIME" '
+/^BenchmarkScoreEveryoneNaive/ { naive = $3; nodes = $5 }
+/^BenchmarkFullGraphSweep/     { swp = $3; nodes = $5 }
+END {
+    if (naive == "" || swp == "") { print "missing sweep benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchtime\": \"%s\",\n  \"nodes\": %s,\n", benchtime, nodes
+    printf "  \"naive_ns_per_rescore\": %s,\n  \"sweep_ns_per_rescore\": %s,\n", naive, swp
+    printf "  \"speedup\": %.2f\n}\n", naive / swp
+}' "$SWEEP_RAW" > "$SWEEP_OUT"
+
+echo "wrote $SWEEP_OUT (speedup $(grep '"speedup"' "$SWEEP_OUT" | tr -dc '0-9.')x)"
