@@ -53,6 +53,7 @@ import (
 	"turbo/internal/eval"
 	"turbo/internal/gnn"
 	"turbo/internal/graph"
+	"turbo/internal/lifecycle"
 	"turbo/internal/persist"
 	"turbo/internal/resilience"
 	"turbo/internal/server"
@@ -86,6 +87,28 @@ func main() {
 	featureTimeout := flag.Duration("feature-timeout", time.Second, "feature fan-out deadline (0 = none)")
 	totalTimeout := flag.Duration("total-timeout", 2*time.Second, "end-to-end audit deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+
+	// Validation-gated model lifecycle (gate off unless -gate is set).
+	gateEnable := flag.Bool("gate", false, "validation-gate retrained models: shadow-evaluate each candidate, quarantine rejects, monitor accepted swaps")
+	gateMinAUC := flag.Float64("gate.min-auc", 0.75, "holdout ROC-AUC floor a candidate must reach")
+	gateMinRecall := flag.Float64("gate.min-recall", 0.5, "recall floor at -gate.precision-floor on the holdout")
+	gatePrecisionFloor := flag.Float64("gate.precision-floor", 0.8, "precision floor for the recall-at-precision criterion")
+	gateMaxPSI := flag.Float64("gate.max-psi", 0.25, "max candidate-vs-live PSI on the shadow cohort")
+	gateMaxKS := flag.Float64("gate.max-ks", 0.3, "max candidate-vs-live KS statistic on the shadow cohort")
+	gateMaxDisagree := flag.Float64("gate.max-disagreement", 0.15, "max candidate-vs-live decision disagreement rate at the audit threshold")
+	gateCohort := flag.Int("gate.cohort", 512, "shadow-cohort size cap (0 = every audit-eligible user)")
+	monWindow := flag.Duration("monitor.window", 2*time.Minute, "post-swap rollback watch window (0 = no monitor)")
+	monMinAudits := flag.Int64("monitor.min-audits", 50, "post-swap audits required before health rates are judged")
+	monMaxErr := flag.Float64("monitor.max-error-rate", 0.05, "post-swap failed-audit rate that triggers auto-rollback")
+	monMaxDegraded := flag.Float64("monitor.max-degraded-rate", 0.5, "post-swap degraded-tier rate that triggers auto-rollback")
+	monMaxShift := flag.Float64("monitor.max-score-shift", 0, "post-swap cohort PSI vs the pre-swap baseline that triggers auto-rollback (0 = off)")
+
+	// HTTP hardening.
+	maxBody := flag.Int64("http.max-body", 1<<20, "max POST body bytes; larger requests get 413")
+	readHeaderTimeout := flag.Duration("http.read-header-timeout", 5*time.Second, "deadline for reading request headers (slowloris guard)")
+	readTimeout := flag.Duration("http.read-timeout", 30*time.Second, "deadline for reading a full request")
+	writeTimeout := flag.Duration("http.write-timeout", 10*time.Minute, "deadline for writing a response (covers synchronous /admin/retrain and pprof profiles)")
+	idleTimeout := flag.Duration("http.idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 
 	// Fault injection (chaos demo; all off by default).
 	faultErrRate := flag.Float64("fault.feature-error-rate", 0, "probability a feature fetch fails")
@@ -188,6 +211,7 @@ func main() {
 	var normalizer func([]float64) []float64
 	var fallback *baselines.LogisticRegression
 	loadedArtifact := false
+	servingVersion := 0
 	if modelStore != nil {
 		lm, err := modelStore.LoadLatest()
 		switch {
@@ -197,6 +221,7 @@ func main() {
 			normalizer = norm.Apply
 			fallback = lm.Fallback
 			loadedArtifact = true
+			servingVersion = lm.Manifest.Version
 			log.Printf("loaded model artifact v%d (%s, %d params, checksum %s)",
 				lm.Manifest.Version, lm.Manifest.Kind, lm.Manifest.Params, lm.Manifest.Checksum)
 		case errors.Is(err, persist.ErrNoArtifact):
@@ -235,6 +260,7 @@ func main() {
 			log.Printf("persisting model artifact: %v", err)
 			sys.Telemetry().ArtifactSaved(false)
 		} else {
+			servingVersion = man.Version
 			log.Printf("persisted model artifact v%d (%s)", man.Version, man.Kind)
 			sys.Telemetry().ArtifactSaved(true)
 		}
@@ -331,6 +357,38 @@ func main() {
 		mgr.SetArtifacts(modelStore, func() persist.Extras {
 			return persist.Extras{NormMean: a.Norm.Mean, NormStd: a.Norm.Std, Fallback: fallback}
 		})
+		mgr.SetCurrentVersion(servingVersion)
+	}
+	// Rollback reconstructs a serving normalizer from the persisted
+	// z-score statistics, so a reinstalled artifact is bitwise the model
+	// (and normalizer) that served before the bad swap.
+	mgr.SetNormBuilder(func(mean, std []float64) func([]float64) []float64 {
+		return (&eval.Normalizer{Mean: mean, Std: std}).Apply
+	})
+	if *gateEnable {
+		mgr.EnableGate(server.GateOptions{
+			Gate: lifecycle.GateConfig{
+				MinAUC:               *gateMinAUC,
+				MinRecallAtPrecision: *gateMinRecall,
+				PrecisionFloor:       *gatePrecisionFloor,
+				MaxPSI:               *gateMaxPSI,
+				MaxKS:                *gateMaxKS,
+				MaxDisagreement:      *gateMaxDisagree,
+			},
+			Monitor: lifecycle.MonitorConfig{
+				Window:          *monWindow,
+				MinAudits:       *monMinAudits,
+				MaxErrorRate:    *monMaxErr,
+				MaxDegradedRate: *monMaxDegraded,
+				MaxScoreShift:   *monMaxShift,
+			},
+			Holdout:    a.HoldoutGate(*threshold, *gatePrecisionFloor),
+			Engine:     sys.Sweeper(),
+			CohortSize: *gateCohort,
+			Logf:       log.Printf,
+		})
+		log.Printf("validation gate on: min-auc=%.2f min-recall=%.2f@p%.2f max-psi=%.2f max-ks=%.2f max-disagreement=%.2f, monitor window=%v",
+			*gateMinAUC, *gateMinRecall, *gatePrecisionFloor, *gateMaxPSI, *gateMaxKS, *gateMaxDisagree, *monWindow)
 	}
 
 	// The scheduler tick: window jobs run in parallel to predictions.
@@ -368,9 +426,19 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: *readHeaderTimeout,
+			ReadTimeout:       *readTimeout,
+			// CPU profiles stream for their whole sampling window, so the
+			// debug listener shares the long API write budget.
+			WriteTimeout: *writeTimeout,
+			IdleTimeout:  *idleTimeout,
+		}
 		go func() {
 			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+			if err := dsrv.ListenAndServe(); err != nil {
 				log.Printf("debug server: %v", err)
 			}
 		}()
@@ -378,7 +446,11 @@ func main() {
 
 	api := sys.API()
 	api.ErrorLog = log.Default()
-	api.Admin.Retrain = mgr.RetrainOnce
+	api.MaxBodyBytes = *maxBody
+	api.Admin.Retrain = mgr.RetrainOnceCtx
+	api.Admin.Rollback = mgr.Rollback
+	api.Admin.Models = mgr.Models
+	api.Admin.Lifecycle = mgr.Lifecycle
 	if journal != nil {
 		api.Admin.Checkpoint = func() (persist.CheckpointInfo, error) {
 			info, err := journal.CheckpointNow()
@@ -391,7 +463,14 @@ func main() {
 	}
 	// State is rebuilt and the model is loaded — flip readiness last.
 	api.SetReady(true)
-	srv := &http.Server{Addr: *addr, Handler: api}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s — try /predict?uid=0, /stats, /latency, /metrics, /debug/traces\n", *addr)

@@ -137,8 +137,8 @@ func (s *System) API() *server.API {
 	}
 	api := server.NewAPI(s.pred, s.bn)
 	api.Sweep = s.sweeper
-	api.Admin.Sweep = func() (server.SweepReport, error) {
-		return s.sweeper.RunOnce(context.Background())
+	api.Admin.Sweep = func(ctx context.Context) (server.SweepReport, error) {
+		return s.sweeper.RunOnce(ctx)
 	}
 	return api
 }
@@ -180,6 +180,26 @@ func (s *System) StartRetraining(ctx context.Context, interval time.Duration, tr
 	mgr := server.NewModelManager(s.pred, train)
 	// Every accepted swap is followed by a full-graph re-score, so the
 	// last-known-score cache serves the new model's scores immediately.
+	mgr.SetResweep(func() { _, _ = s.sweeper.RunOnce(context.Background()) })
+	go mgr.Run(ctx, interval)
+	return mgr, nil
+}
+
+// StartRetrainingGated is StartRetraining with the validation gate
+// between training and serving: each candidate is scored in shadow
+// against the gate's quality floors before it may swap, rejected
+// candidates are quarantined, and the post-swap monitor rolls back
+// automatically when live health degrades. The sweep engine is wired as
+// the shadow scorer unless opts.Engine overrides it.
+func (s *System) StartRetrainingGated(ctx context.Context, interval time.Duration, train server.TrainFunc, opts server.GateOptions) (*server.ModelManager, error) {
+	if s.pred == nil {
+		return nil, fmt.Errorf("core: attach an initial model with SetModel before StartRetrainingGated")
+	}
+	mgr := server.NewModelManager(s.pred, train)
+	if opts.Engine == nil {
+		opts.Engine = s.sweeper
+	}
+	mgr.EnableGate(opts)
 	mgr.SetResweep(func() { _, _ = s.sweeper.RunOnce(context.Background()) })
 	go mgr.Run(ctx, interval)
 	return mgr, nil

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"testing"
+
+	"turbo/internal/lifecycle"
+	"turbo/internal/tensor"
+)
+
+// TestHoldoutGateAcceptsHealthyRetrain trains HAG normally and checks
+// the holdout replay reports strong metrics that clear a production-like
+// gate.
+func TestHoldoutGateAcceptsHealthyRetrain(t *testing.T) {
+	a := getTiny(t)
+	m, _ := TrainHAG(a, HAGFull, fastHyper(), 1)
+	hold := a.HoldoutGate(0.5, 0.6)
+	rep, err := hold(m, a.Norm.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Size != len(a.TestIdx) {
+		t.Fatalf("holdout size %d want %d", rep.Size, len(a.TestIdx))
+	}
+	gate := lifecycle.GateConfig{MinAUC: 0.75, MinRecallAtPrecision: 0.3, PrecisionFloor: 0.6, RequireHoldout: true}
+	v := gate.Check(lifecycle.ShadowReport{Holdout: rep})
+	if !v.Accepted {
+		t.Fatalf("healthy retrain rejected: %v (report %+v)", v.Reasons, rep)
+	}
+}
+
+// TestHoldoutGateRejectsLabelShuffledRetrain is the poisoned-pipeline
+// scenario: a candidate trained on shuffled labels carries no signal, so
+// its holdout replay — against the TRUE labels — lands at chance AUC and
+// the gate must quarantine it.
+func TestHoldoutGateRejectsLabelShuffledRetrain(t *testing.T) {
+	a := getTiny(t)
+
+	// Shallow-copy the assembly and permute the labels: the "retrain"
+	// sees garbage supervision while the holdout keeps the real labels.
+	shuffled := *a
+	rng := tensor.NewRNG(42)
+	perm := rng.Perm(len(a.Labels))
+	shuffled.Labels = make([]float64, len(a.Labels))
+	for i, j := range perm {
+		shuffled.Labels[i] = a.Labels[j]
+	}
+	bad, _ := TrainHAG(&shuffled, HAGFull, fastHyper(), 1)
+
+	hold := a.HoldoutGate(0.5, 0.6)
+	rep, err := hold(bad, a.Norm.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := lifecycle.GateConfig{MinAUC: 0.75, MinRecallAtPrecision: 0.3, PrecisionFloor: 0.6, RequireHoldout: true}
+	v := gate.Check(lifecycle.ShadowReport{Holdout: rep})
+	if v.Accepted {
+		t.Fatalf("label-shuffled candidate passed the gate (AUC %.4f, report %+v)", rep.AUC, rep)
+	}
+	if len(v.Reasons) == 0 {
+		t.Fatal("rejection carries no reasons")
+	}
+	t.Logf("poisoned candidate rejected: %v", v.Reasons)
+}
+
+// TestHoldoutGateMissingInputs covers the adapter's error paths.
+func TestHoldoutGateMissingInputs(t *testing.T) {
+	a := getTiny(t)
+	hold := a.HoldoutGate(0.5, 0.8)
+	if _, err := hold(nil, nil); err == nil {
+		t.Fatal("nil model must error")
+	}
+	empty := *a
+	empty.TestIdx = nil
+	m, _ := TrainHAG(a, HAGFull, fastHyper(), 1)
+	if _, err := empty.HoldoutGate(0.5, 0.8)(m, nil); err == nil {
+		t.Fatal("empty test split must error")
+	}
+}

@@ -1,0 +1,138 @@
+package lifecycle
+
+import (
+	"fmt"
+	"time"
+)
+
+// HoldoutReport is the candidate's labeled-holdout replay evaluation
+// (computed by the caller, e.g. eval.HoldoutFunc over the test split).
+type HoldoutReport struct {
+	Size      int     `json:"size"`
+	AUC       float64 `json:"auc"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// RecallAtPrecision is the best recall any threshold achieves while
+	// holding precision at or above PrecisionFloor.
+	RecallAtPrecision float64 `json:"recall_at_precision"`
+	PrecisionFloor    float64 `json:"precision_floor"`
+}
+
+// CohortDiff compares candidate and live scores over one shared cohort
+// of real users: distribution shift (PSI, KS) and the paired decision
+// disagreement rate at the serving threshold.
+type CohortDiff struct {
+	Size          int     `json:"size"`
+	PSI           float64 `json:"psi"`
+	KS            float64 `json:"ks"`
+	Disagreement  float64 `json:"disagreement"`
+	Threshold     float64 `json:"threshold"`
+	CandidateMean float64 `json:"candidate_mean"`
+	LiveMean      float64 `json:"live_mean"`
+}
+
+// DiffCohort reduces paired candidate/live scores to a CohortDiff.
+func DiffCohort(candidate, live []float64, thresh float64) CohortDiff {
+	return CohortDiff{
+		Size:          len(candidate),
+		PSI:           PSI(live, candidate, 0),
+		KS:            KS(live, candidate),
+		Disagreement:  DisagreementRate(candidate, live, thresh),
+		Threshold:     thresh,
+		CandidateMean: Mean(candidate),
+		LiveMean:      Mean(live),
+	}
+}
+
+// ShadowReport is everything learned about a candidate without serving
+// it: the holdout replay and the live-cohort diff. Either side may be
+// nil when its input was unavailable (no labels, empty cohort).
+type ShadowReport struct {
+	Holdout *HoldoutReport `json:"holdout,omitempty"`
+	Cohort  *CohortDiff    `json:"cohort,omitempty"`
+	At      time.Time      `json:"at"`
+}
+
+// GateConfig bounds what a candidate must prove in shadow before it may
+// replace the live model. A zero field disables that check, so the zero
+// value accepts everything (gate off).
+type GateConfig struct {
+	// MinAUC is the holdout ROC-AUC floor.
+	MinAUC float64
+	// MinRecallAtPrecision is the floor on holdout recall measured at
+	// PrecisionFloor precision.
+	MinRecallAtPrecision float64
+	// PrecisionFloor is the precision at which MinRecallAtPrecision is
+	// measured (0 selects 0.5 when MinRecallAtPrecision is set).
+	PrecisionFloor float64
+	// MaxPSI bounds the candidate-vs-live score-distribution shift.
+	MaxPSI float64
+	// MaxKS bounds the candidate-vs-live KS statistic.
+	MaxKS float64
+	// MaxDisagreement bounds the paired decision-flip rate.
+	MaxDisagreement float64
+	// RequireHoldout rejects candidates with no holdout evaluation;
+	// RequireCohort rejects candidates with no live-cohort diff. Without
+	// these, a missing input skips its checks.
+	RequireHoldout bool
+	RequireCohort  bool
+}
+
+// Enabled reports whether any check is configured.
+func (c GateConfig) Enabled() bool {
+	return c != GateConfig{}
+}
+
+// Verdict is the gate's decision on one candidate, with every violated
+// bound recorded as a human-readable reason (persisted into the
+// quarantined artifact's manifest).
+type Verdict struct {
+	Accepted bool         `json:"accepted"`
+	Reasons  []string     `json:"reasons,omitempty"`
+	Report   ShadowReport `json:"shadow"`
+}
+
+// Check gates a shadow report: every configured bound is evaluated and
+// every violation collected, so a rejection names all of its reasons at
+// once rather than the first.
+func (c GateConfig) Check(rep ShadowReport) Verdict {
+	var reasons []string
+	if rep.Holdout == nil {
+		if c.RequireHoldout {
+			reasons = append(reasons, "no holdout evaluation available")
+		}
+	} else {
+		h := rep.Holdout
+		if c.MinAUC > 0 && h.AUC < c.MinAUC {
+			reasons = append(reasons,
+				fmt.Sprintf("holdout AUC %.4f below floor %.4f", h.AUC, c.MinAUC))
+		}
+		if c.MinRecallAtPrecision > 0 && h.RecallAtPrecision < c.MinRecallAtPrecision {
+			reasons = append(reasons,
+				fmt.Sprintf("holdout recall %.4f at precision ≥ %.2f below floor %.4f",
+					h.RecallAtPrecision, h.PrecisionFloor, c.MinRecallAtPrecision))
+		}
+	}
+	if rep.Cohort == nil {
+		if c.RequireCohort {
+			reasons = append(reasons, "no live-cohort diff available")
+		}
+	} else {
+		d := rep.Cohort
+		if c.MaxPSI > 0 && d.PSI > c.MaxPSI {
+			reasons = append(reasons,
+				fmt.Sprintf("score-distribution PSI %.4f above ceiling %.4f", d.PSI, c.MaxPSI))
+		}
+		if c.MaxKS > 0 && d.KS > c.MaxKS {
+			reasons = append(reasons,
+				fmt.Sprintf("score-distribution KS %.4f above ceiling %.4f", d.KS, c.MaxKS))
+		}
+		if c.MaxDisagreement > 0 && d.Disagreement > c.MaxDisagreement {
+			reasons = append(reasons,
+				fmt.Sprintf("candidate/live disagreement %.4f above ceiling %.4f",
+					d.Disagreement, c.MaxDisagreement))
+		}
+	}
+	return Verdict{Accepted: len(reasons) == 0, Reasons: reasons, Report: rep}
+}

@@ -1,0 +1,361 @@
+package lifecycle
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPSIIdenticalDistributionsNearZero(t *testing.T) {
+	scores := make([]float64, 1000)
+	for i := range scores {
+		scores[i] = float64(i) / 1000
+	}
+	if psi := PSI(scores, scores, 10); psi != 0 {
+		t.Fatalf("PSI(x, x) = %v, want 0", psi)
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	low := make([]float64, 500)
+	high := make([]float64, 500)
+	for i := range low {
+		low[i] = 0.1 + 0.001*float64(i%100)  // mass near 0.1
+		high[i] = 0.8 + 0.001*float64(i%100) // mass near 0.8
+	}
+	psi := PSI(low, high, 10)
+	if psi < 0.25 {
+		t.Fatalf("PSI between disjoint distributions = %v, want major shift (> 0.25)", psi)
+	}
+	if math.IsInf(psi, 0) || math.IsNaN(psi) {
+		t.Fatalf("PSI not finite: %v", psi)
+	}
+}
+
+func TestPSIEmptyInputs(t *testing.T) {
+	if psi := PSI(nil, []float64{0.5}, 10); psi != 0 {
+		t.Fatalf("PSI with empty expected = %v, want 0", psi)
+	}
+	if psi := PSI([]float64{0.5}, nil, 10); psi != 0 {
+		t.Fatalf("PSI with empty actual = %v, want 0", psi)
+	}
+}
+
+func TestPSIClampsOutOfRange(t *testing.T) {
+	// Scores outside [0,1] land in the edge bins instead of panicking.
+	psi := PSI([]float64{-0.5, 1.5, 0.5}, []float64{-1, 2, 0.5}, 4)
+	if math.IsNaN(psi) || math.IsInf(psi, 0) {
+		t.Fatalf("PSI with out-of-range scores not finite: %v", psi)
+	}
+}
+
+func TestKSIdenticalZeroDisjointOne(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3, 0.4}
+	if ks := KS(a, a); ks != 0 {
+		t.Fatalf("KS(x, x) = %v, want 0", ks)
+	}
+	b := []float64{0.7, 0.8, 0.9, 0.95}
+	if ks := KS(a, b); ks != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", ks)
+	}
+	if ks := KS(nil, b); ks != 0 {
+		t.Fatalf("KS with empty sample = %v, want 0", ks)
+	}
+}
+
+func TestKSWithTies(t *testing.T) {
+	a := []float64{0.5, 0.5, 0.5, 0.5}
+	b := []float64{0.5, 0.5, 0.6, 0.6}
+	ks := KS(a, b)
+	// After 0.5: Fa = 1, Fb = 0.5 → D = 0.5.
+	if math.Abs(ks-0.5) > 1e-12 {
+		t.Fatalf("KS with ties = %v, want 0.5", ks)
+	}
+}
+
+func TestDisagreementRate(t *testing.T) {
+	cand := []float64{0.9, 0.1, 0.6, 0.4}
+	live := []float64{0.9, 0.1, 0.4, 0.6}
+	if d := DisagreementRate(cand, live, 0.5); d != 0.5 {
+		t.Fatalf("disagreement = %v, want 0.5", d)
+	}
+	if d := DisagreementRate(cand, cand, 0.5); d != 0 {
+		t.Fatalf("self disagreement = %v, want 0", d)
+	}
+	if d := DisagreementRate(nil, nil, 0.5); d != 0 {
+		t.Fatalf("empty disagreement = %v, want 0", d)
+	}
+}
+
+func TestDisagreementRatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched cohort lengths")
+		}
+	}()
+	DisagreementRate([]float64{0.1}, []float64{0.1, 0.2}, 0.5)
+}
+
+func TestDiffCohort(t *testing.T) {
+	cand := []float64{0.9, 0.8, 0.7, 0.1}
+	live := []float64{0.2, 0.3, 0.1, 0.1}
+	d := DiffCohort(cand, live, 0.5)
+	if d.Size != 4 {
+		t.Fatalf("size = %d, want 4", d.Size)
+	}
+	if d.Disagreement != 0.75 {
+		t.Fatalf("disagreement = %v, want 0.75", d.Disagreement)
+	}
+	if d.CandidateMean <= d.LiveMean {
+		t.Fatalf("means: candidate %v should exceed live %v", d.CandidateMean, d.LiveMean)
+	}
+	if d.PSI <= 0 || d.KS <= 0 {
+		t.Fatalf("shifted cohort should have positive PSI (%v) and KS (%v)", d.PSI, d.KS)
+	}
+}
+
+func TestGateZeroValueAcceptsEverything(t *testing.T) {
+	var cfg GateConfig
+	if cfg.Enabled() {
+		t.Fatal("zero GateConfig should report disabled")
+	}
+	v := cfg.Check(ShadowReport{})
+	if !v.Accepted || len(v.Reasons) != 0 {
+		t.Fatalf("zero gate rejected: %+v", v)
+	}
+}
+
+func TestGateAcceptsHealthyCandidate(t *testing.T) {
+	cfg := GateConfig{
+		MinAUC:               0.8,
+		MinRecallAtPrecision: 0.5,
+		PrecisionFloor:       0.5,
+		MaxPSI:               0.25,
+		MaxKS:                0.3,
+		MaxDisagreement:      0.1,
+		RequireHoldout:       true,
+		RequireCohort:        true,
+	}
+	rep := ShadowReport{
+		Holdout: &HoldoutReport{Size: 100, AUC: 0.95, RecallAtPrecision: 0.9, PrecisionFloor: 0.5},
+		Cohort:  &CohortDiff{Size: 50, PSI: 0.02, KS: 0.05, Disagreement: 0.01},
+		At:      time.Now(),
+	}
+	v := cfg.Check(rep)
+	if !v.Accepted {
+		t.Fatalf("healthy candidate rejected: %v", v.Reasons)
+	}
+}
+
+func TestGateCollectsAllViolations(t *testing.T) {
+	cfg := GateConfig{
+		MinAUC:               0.8,
+		MinRecallAtPrecision: 0.5,
+		PrecisionFloor:       0.5,
+		MaxPSI:               0.25,
+		MaxDisagreement:      0.1,
+	}
+	rep := ShadowReport{
+		Holdout: &HoldoutReport{AUC: 0.51, RecallAtPrecision: 0.1, PrecisionFloor: 0.5},
+		Cohort:  &CohortDiff{PSI: 0.9, Disagreement: 0.4},
+	}
+	v := cfg.Check(rep)
+	if v.Accepted {
+		t.Fatal("degenerate candidate accepted")
+	}
+	if len(v.Reasons) != 4 {
+		t.Fatalf("want all 4 violations collected, got %d: %v", len(v.Reasons), v.Reasons)
+	}
+	joined := strings.Join(v.Reasons, "; ")
+	for _, want := range []string{"AUC", "recall", "PSI", "disagreement"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("reasons missing %q: %v", want, v.Reasons)
+		}
+	}
+}
+
+func TestGateRequireMissingInputs(t *testing.T) {
+	cfg := GateConfig{RequireHoldout: true, RequireCohort: true}
+	if !cfg.Enabled() {
+		t.Fatal("require-only gate should report enabled")
+	}
+	v := cfg.Check(ShadowReport{})
+	if v.Accepted || len(v.Reasons) != 2 {
+		t.Fatalf("missing-input candidate should collect 2 reasons, got %+v", v)
+	}
+	// Without Require*, missing inputs skip their checks.
+	soft := GateConfig{MinAUC: 0.8, MaxPSI: 0.25}
+	if got := soft.Check(ShadowReport{}); !got.Accepted {
+		t.Fatalf("soft gate rejected missing inputs: %v", got.Reasons)
+	}
+}
+
+func TestMonitorHealthyWindowNoRollback(t *testing.T) {
+	m := Start(MonitorConfig{
+		Window:       120 * time.Millisecond,
+		Interval:     20 * time.Millisecond,
+		MaxErrorRate: 0.5,
+	}, Probes{
+		Health:   func() Health { return Health{Audits: 100, Failed: 1} },
+		Rollback: func(string) error { t.Error("rollback fired on healthy window"); return nil },
+	})
+	<-m.Done()
+	res := m.Result()
+	if res.RolledBack || res.Stopped {
+		t.Fatalf("healthy window: %+v", res)
+	}
+	if res.Checks == 0 {
+		t.Fatal("monitor never checked health")
+	}
+}
+
+func TestMonitorErrorRateRollback(t *testing.T) {
+	var readings int
+	rolled := make(chan string, 1)
+	m := Start(MonitorConfig{
+		Window:       time.Second,
+		Interval:     10 * time.Millisecond,
+		MinAudits:    10,
+		MaxErrorRate: 0.2,
+	}, Probes{
+		Health: func() Health {
+			readings++
+			if readings == 1 {
+				return Health{Audits: 100, Failed: 5} // swap-time baseline
+			}
+			return Health{Audits: 200, Failed: 55} // post-swap: 50/100 failing
+		},
+		Rollback: func(reason string) error { rolled <- reason; return nil },
+	})
+	select {
+	case reason := <-rolled:
+		if !strings.Contains(reason, "error rate") {
+			t.Fatalf("unexpected rollback reason %q", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor never rolled back on 50% error rate")
+	}
+	<-m.Done()
+	res := m.Result()
+	if !res.RolledBack || res.Reason == "" {
+		t.Fatalf("result after rollback: %+v", res)
+	}
+	if res.Audits != 100 {
+		t.Fatalf("post-swap audits = %d, want 100", res.Audits)
+	}
+}
+
+func TestMonitorMinAuditsSuppressesNoise(t *testing.T) {
+	// 2/3 audits failed but MinAudits=50 means the rate is not trusted yet.
+	m := Start(MonitorConfig{
+		Window:       100 * time.Millisecond,
+		Interval:     10 * time.Millisecond,
+		MinAudits:    50,
+		MaxErrorRate: 0.1,
+	}, Probes{
+		Health:   func() Health { return Health{Audits: 3, Failed: 2} },
+		Rollback: func(string) error { t.Error("rollback on untrusted sample"); return nil },
+	})
+	<-m.Done()
+	if m.Result().RolledBack {
+		t.Fatal("rolled back below MinAudits")
+	}
+}
+
+func TestMonitorScoreShiftRollback(t *testing.T) {
+	rolled := make(chan string, 1)
+	m := Start(MonitorConfig{
+		Window:        time.Second,
+		Interval:      10 * time.Millisecond,
+		MaxScoreShift: 0.25,
+	}, Probes{
+		ScoreShift: func() (float64, bool) { return 0.8, true },
+		Rollback:   func(reason string) error { rolled <- reason; return nil },
+	})
+	select {
+	case reason := <-rolled:
+		if !strings.Contains(reason, "PSI") {
+			t.Fatalf("unexpected rollback reason %q", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor never rolled back on score shift")
+	}
+	<-m.Done()
+}
+
+func TestMonitorStopFromRollbackDoesNotDeadlock(t *testing.T) {
+	// The production rollback path stops the monitor from inside the
+	// monitor's own goroutine; Stop must not wait on Done.
+	var m *Monitor
+	done := make(chan struct{})
+	var readings int64
+	m = Start(MonitorConfig{
+		Window:       time.Second,
+		Interval:     5 * time.Millisecond,
+		MaxErrorRate: 0.01,
+	}, Probes{
+		// Cumulative counters grow past the swap-time baseline.
+		Health: func() Health {
+			readings++
+			return Health{Audits: readings * 100, Failed: readings * 90}
+		},
+		Rollback: func(string) error {
+			m.Stop() // re-entrant stop, as ModelManager.Rollback does
+			close(done)
+			return nil
+		},
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-entrant Stop deadlocked the monitor")
+	}
+	select {
+	case <-m.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor goroutine never exited after re-entrant Stop")
+	}
+}
+
+func TestMonitorStopCancelsWatch(t *testing.T) {
+	m := Start(MonitorConfig{Window: time.Hour, Interval: time.Hour}, Probes{})
+	m.Stop()
+	select {
+	case <-m.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not end the watch")
+	}
+	if res := m.Result(); !res.Stopped || res.RolledBack {
+		t.Fatalf("stopped watch result: %+v", res)
+	}
+}
+
+func TestMonitorRollbackErrorRecorded(t *testing.T) {
+	var readings int64
+	m := Start(MonitorConfig{
+		Window:       time.Second,
+		Interval:     5 * time.Millisecond,
+		MaxErrorRate: 0.01,
+	}, Probes{
+		Health: func() Health {
+			readings++
+			return Health{Audits: readings * 100, Failed: readings * 90}
+		},
+		Rollback: func(string) error { return errFake },
+	})
+	<-m.Done()
+	res := m.Result()
+	if res.RolledBack {
+		t.Fatal("failed rollback reported as rolled back")
+	}
+	if res.RollbackError == "" || res.Reason == "" {
+		t.Fatalf("rollback failure not recorded: %+v", res)
+	}
+}
+
+var errFake = errFakeT{}
+
+type errFakeT struct{}
+
+func (errFakeT) Error() string { return "artifact store unavailable" }

@@ -1,0 +1,214 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Health is one cumulative reading of live serving counters. The
+// monitor diffs readings against the one taken at swap time, so only
+// post-swap traffic is judged.
+type Health struct {
+	// Audits is the total number of completed audit outcomes, including
+	// failed ones.
+	Audits int64
+	// Degraded counts audits served below the full tier.
+	Degraded int64
+	// Failed counts audits that produced no usable score (shed load,
+	// unknown users, hard errors).
+	Failed int64
+}
+
+// MonitorConfig bounds what live health may do during the post-swap
+// watch window before the monitor rolls the swap back. A zero rate or
+// shift field disables that check.
+type MonitorConfig struct {
+	// Window is the total watch duration; the monitor exits healthy when
+	// it elapses without a violation. Zero disables monitoring.
+	Window time.Duration
+	// Interval is the check period (0 selects Window/10, floored at
+	// 100 ms).
+	Interval time.Duration
+	// MinAudits is the minimum number of post-swap audits before the
+	// rate checks are trusted (protects against judging on noise).
+	MinAudits int64
+	// MaxErrorRate bounds post-swap Failed/Audits.
+	MaxErrorRate float64
+	// MaxDegradedRate bounds post-swap Degraded/Audits.
+	MaxDegradedRate float64
+	// MaxScoreShift bounds the PSI between the current serving scores and
+	// the pre-swap baseline reported by the ScoreShift probe.
+	MaxScoreShift float64
+}
+
+// Probes are the monitor's hooks into the live stack. All fields are
+// optional except Rollback; a nil probe disables its checks.
+type Probes struct {
+	// Health reads the cumulative serving counters.
+	Health func() Health
+	// ScoreShift returns the PSI of the current serving-score
+	// distribution against the pre-swap baseline, and whether the reading
+	// is usable (false when the cohort could not be scored).
+	ScoreShift func() (float64, bool)
+	// Rollback re-installs the previous accepted model. Called at most
+	// once, from the monitor goroutine.
+	Rollback func(reason string) error
+	// Logf receives progress lines (nil discards them).
+	Logf func(string, ...any)
+}
+
+// Result is the outcome of one completed watch.
+type Result struct {
+	RolledBack bool   `json:"rolled_back"`
+	Reason     string `json:"reason,omitempty"`
+	// RollbackError is set when the rollback action itself failed.
+	RollbackError string `json:"rollback_error,omitempty"`
+	Checks        int    `json:"checks"`
+	Audits        int64  `json:"audits"`
+	Stopped       bool   `json:"stopped"` // cancelled before the window elapsed
+}
+
+// Monitor watches live health for one accepted swap. Create with Start;
+// it runs in its own goroutine and finishes when the window elapses, a
+// violation triggers the rollback, or Stop cancels it (a newer swap
+// supersedes the watch).
+type Monitor struct {
+	cfg    MonitorConfig
+	probes Probes
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu  sync.Mutex
+	res Result
+}
+
+// Start launches the watch. cfg.Window must be positive.
+func Start(cfg MonitorConfig, probes Probes) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.Window / 10
+		if cfg.Interval < 100*time.Millisecond {
+			cfg.Interval = 100 * time.Millisecond
+		}
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		probes: probes,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go m.run()
+	return m
+}
+
+// Stop cancels the watch (idempotent; a superseding swap or a manual
+// rollback calls it). It does not wait for the goroutine to exit.
+func (m *Monitor) Stop() { m.stopOnce.Do(func() { close(m.stop) }) }
+
+// Done is closed when the watch has finished (window elapsed, rollback
+// fired, or stopped).
+func (m *Monitor) Done() <-chan struct{} { return m.done }
+
+// Result returns the watch outcome so far; final once Done is closed.
+func (m *Monitor) Result() Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.res
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.probes.Logf != nil {
+		m.probes.Logf(format, args...)
+	}
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	var base Health
+	if m.probes.Health != nil {
+		base = m.probes.Health()
+	}
+	deadline := time.NewTimer(m.cfg.Window)
+	defer deadline.Stop()
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			m.mu.Lock()
+			m.res.Stopped = true
+			m.mu.Unlock()
+			return
+		case <-deadline.C:
+			// One final check at the window edge, then exit healthy.
+			if m.check(base) {
+				return
+			}
+			m.logf("lifecycle: monitor window elapsed, swap healthy")
+			return
+		case <-ticker.C:
+			if m.check(base) {
+				return
+			}
+		}
+	}
+}
+
+// check runs every configured probe once; true means the watch is over
+// (a violation fired the rollback).
+func (m *Monitor) check(base Health) bool {
+	m.mu.Lock()
+	m.res.Checks++
+	m.mu.Unlock()
+
+	var reason string
+	if m.probes.Health != nil {
+		h := m.probes.Health()
+		audits := h.Audits - base.Audits
+		m.mu.Lock()
+		m.res.Audits = audits
+		m.mu.Unlock()
+		if audits > 0 && audits >= m.cfg.MinAudits {
+			if m.cfg.MaxErrorRate > 0 {
+				if rate := float64(h.Failed-base.Failed) / float64(audits); rate > m.cfg.MaxErrorRate {
+					reason = fmt.Sprintf("error rate %.4f above ceiling %.4f over %d audits",
+						rate, m.cfg.MaxErrorRate, audits)
+				}
+			}
+			if reason == "" && m.cfg.MaxDegradedRate > 0 {
+				if rate := float64(h.Degraded-base.Degraded) / float64(audits); rate > m.cfg.MaxDegradedRate {
+					reason = fmt.Sprintf("degraded-tier rate %.4f above ceiling %.4f over %d audits",
+						rate, m.cfg.MaxDegradedRate, audits)
+				}
+			}
+		}
+	}
+	if reason == "" && m.cfg.MaxScoreShift > 0 && m.probes.ScoreShift != nil {
+		if psi, ok := m.probes.ScoreShift(); ok && psi > m.cfg.MaxScoreShift {
+			reason = fmt.Sprintf("serving-score PSI %.4f vs pre-swap baseline above ceiling %.4f",
+				psi, m.cfg.MaxScoreShift)
+		}
+	}
+	if reason == "" {
+		return false
+	}
+
+	m.logf("lifecycle: monitor regression detected: %s — rolling back", reason)
+	var rbErr error
+	if m.probes.Rollback != nil {
+		rbErr = m.probes.Rollback(reason)
+	}
+	m.mu.Lock()
+	m.res.RolledBack = rbErr == nil
+	m.res.Reason = reason
+	if rbErr != nil {
+		m.res.RollbackError = rbErr.Error()
+	}
+	m.mu.Unlock()
+	if rbErr != nil {
+		m.logf("lifecycle: rollback failed: %v", rbErr)
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+// Package lifecycle implements the safe-deployment subsystem that
+// stands between offline training and real-time serving: a candidate
+// model is first scored in shadow (holdout replay + candidate/live diff
+// on a sampled cohort), then passed through a configurable quality gate
+// before it may be hot-swapped; accepted swaps are watched by a rollback
+// monitor that re-installs the previous accepted model when live health
+// regresses. The package is serving-stack-agnostic — it works on score
+// slices and probe closures, so internal/server wires it to the sweep
+// engine and the audit counters without a dependency cycle.
+package lifecycle
+
+import (
+	"math"
+	"sort"
+)
+
+// psiEps floors empty histogram bins so the PSI log ratio stays finite:
+// a bin one distribution occupies and the other does not contributes a
+// large-but-bounded term instead of +Inf.
+const psiEps = 1e-4
+
+// PSI is the population stability index between two score distributions
+// over [0, 1], the standard drift statistic for model scores: fixed
+// equal-width bins, ε-floored proportions, Σ (a−e)·ln(a/e). Values
+// below ~0.1 mean no shift, 0.1–0.25 moderate shift, above 0.25 a major
+// shift. bins ≤ 0 selects 10. Either side empty → 0 (no evidence).
+func PSI(expected, actual []float64, bins int) float64 {
+	if len(expected) == 0 || len(actual) == 0 {
+		return 0
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	pe := proportions(expected, bins)
+	pa := proportions(actual, bins)
+	var psi float64
+	for i := range pe {
+		e := math.Max(pe[i], psiEps)
+		a := math.Max(pa[i], psiEps)
+		psi += (a - e) * math.Log(a/e)
+	}
+	return psi
+}
+
+// proportions histograms scores into equal-width bins over [0, 1],
+// clamping out-of-range values into the edge bins.
+func proportions(scores []float64, bins int) []float64 {
+	p := make([]float64, bins)
+	for _, s := range scores {
+		i := int(s * float64(bins))
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		p[i]++
+	}
+	n := float64(len(scores))
+	for i := range p {
+		p[i] /= n
+	}
+	return p
+}
+
+// KS is the two-sample Kolmogorov–Smirnov statistic: the maximum
+// vertical distance between the empirical CDFs of a and b, in [0, 1].
+// Either side empty → 0.
+func KS(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		// Advance both sides past the smaller value (and its ties) so the
+		// CDFs are compared strictly after it.
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// DisagreementRate is the fraction of paired scores whose fraud
+// decision differs at the given threshold — the candidate/live
+// behavioral diff the gate bounds. Panics on length mismatch (the
+// cohort must be identical on both sides); empty input → 0.
+func DisagreementRate(a, b []float64, thresh float64) float64 {
+	if len(a) != len(b) {
+		panic("lifecycle: disagreement over mismatched cohorts")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range a {
+		if (a[i] >= thresh) != (b[i] >= thresh) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// Mean averages xs (0 when empty), for the shadow report's summary.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -117,6 +117,55 @@ func AUC(scores []float64, labels []bool) float64 {
 	return u / (float64(nPos) * float64(nNeg))
 }
 
+// RecallAtPrecision returns the highest recall achievable by any score
+// threshold whose precision is at least floor — the model-gate quality
+// criterion for deposit-free leasing, where a precision floor bounds how
+// many legitimate users may be challenged. Thresholds are evaluated at
+// distinct score boundaries (ties are kept together). Returns 0 when no
+// threshold reaches the floor or either class is empty.
+func RecallAtPrecision(scores []float64, labels []bool, floor float64) float64 {
+	if len(scores) != len(labels) {
+		panic("metrics: scores/labels length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var nPos int
+	for _, l := range labels {
+		if l {
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		return 0
+	}
+	var best float64
+	var tp, fp int
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		for k := i; k < j; k++ {
+			if labels[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		if prec := float64(tp) / float64(tp+fp); prec >= floor {
+			if rec := float64(tp) / float64(nPos); rec > best {
+				best = rec
+			}
+		}
+		i = j
+	}
+	return best
+}
+
 // Report bundles the Table III columns for one method run.
 type Report struct {
 	Precision float64

@@ -184,3 +184,29 @@ func TestConfuseLengthMismatchPanics(t *testing.T) {
 	}()
 	Confuse([]float64{1}, []bool{true, false}, 0.5)
 }
+
+func TestRecallAtPrecision(t *testing.T) {
+	// Scores descending: 0.9(+) 0.8(+) 0.7(-) 0.6(+) 0.5(-).
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	labels := []bool{true, true, false, true, false}
+	// At the top-2 cut precision is 1.0, recall 2/3; at top-4 precision
+	// is 0.75, recall 1.0.
+	if got := RecallAtPrecision(scores, labels, 1.0); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("recall@p1.0 = %v, want 2/3", got)
+	}
+	if got := RecallAtPrecision(scores, labels, 0.75); got != 1.0 {
+		t.Fatalf("recall@p0.75 = %v, want 1", got)
+	}
+	// Unreachable floor: no threshold has precision > 1.
+	if got := RecallAtPrecision([]float64{0.9, 0.1}, []bool{false, true}, 0.9); got != 0 {
+		t.Fatalf("recall at unreachable floor = %v, want 0", got)
+	}
+	// Ties are kept together: both 0.5s enter the cut at once.
+	if got := RecallAtPrecision([]float64{0.5, 0.5}, []bool{true, false}, 0.6); got != 0 {
+		t.Fatalf("tied cut reported recall %v at precision 0.5 < 0.6", got)
+	}
+	// Degenerate inputs.
+	if got := RecallAtPrecision(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty input recall %v", got)
+	}
+}

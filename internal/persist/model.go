@@ -26,6 +26,21 @@ import (
 // no usable artifact.
 var ErrNoArtifact = errors.New("persist: no model artifact")
 
+// Artifact lifecycle statuses recorded in the manifest. An empty status
+// (artifacts written before the lifecycle gate existed) is treated as
+// accepted.
+const (
+	// StatusAccepted marks an artifact that passed the quality gate and
+	// is eligible for serving.
+	StatusAccepted = "accepted"
+	// StatusQuarantined marks a gate-rejected candidate, kept on disk for
+	// forensics but never auto-loaded.
+	StatusQuarantined = "quarantined"
+	// StatusRolledBack marks an accepted artifact the rollback monitor
+	// (or an operator) later withdrew; never auto-loaded again.
+	StatusRolledBack = "rolled_back"
+)
+
 // Manifest is the human-readable sidecar written next to every model
 // artifact (model-NNNNNN.json). It carries enough to audit a deployment
 // without parsing the binary blob.
@@ -40,6 +55,17 @@ type Manifest struct {
 	// Checksum is the CRC32C (hex) of the blob payload; Bytes its size.
 	Checksum string `json:"checksum"`
 	Bytes    int64  `json:"bytes"`
+	// Status is the lifecycle state ("" from pre-lifecycle artifacts is
+	// accepted); Reasons records why a quarantined candidate was rejected
+	// or why an artifact was rolled back.
+	Status  string   `json:"status,omitempty"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Loadable reports whether this artifact may be served: only accepted
+// (or pre-lifecycle, status-less) artifacts qualify.
+func (m Manifest) Loadable() bool {
+	return m.Status == "" || m.Status == StatusAccepted
 }
 
 // Extras are the serving-path companions persisted alongside the model
@@ -183,9 +209,18 @@ func inDimOf(kind string, configJSON []byte) int {
 	return probe.InDim
 }
 
-// Save writes model (plus extras) as the next artifact version: an
-// atomically renamed binary blob and a JSON manifest sidecar.
+// Save writes model (plus extras) as the next artifact version with
+// StatusAccepted: an atomically renamed binary blob and a JSON manifest
+// sidecar.
 func (s *ModelStore) Save(model gnn.Model, ex Extras) (Manifest, error) {
+	return s.SaveStatus(model, ex, StatusAccepted, nil)
+}
+
+// SaveStatus writes model as the next artifact version under an
+// explicit lifecycle status — quarantined candidates are persisted for
+// forensics with their rejection reasons, but LoadLatest will never
+// serve them.
+func (s *ModelStore) SaveStatus(model gnn.Model, ex Extras, status string, reasons []string) (Manifest, error) {
 	kind, cfg, err := modelKind(model)
 	if err != nil {
 		return Manifest{}, err
@@ -236,6 +271,8 @@ func (s *ModelStore) Save(model gnn.Model, ex Extras) (Manifest, error) {
 		InDim:     inDimOf(kind, configJSON),
 		Checksum:  fmt.Sprintf("%08x", sum),
 		Bytes:     int64(len(buf)),
+		Status:    status,
+		Reasons:   reasons,
 	}
 
 	final := filepath.Join(s.dir, modelName(version))
@@ -258,15 +295,76 @@ func (s *ModelStore) Save(model gnn.Model, ex Extras) (Manifest, error) {
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return Manifest{}, fmt.Errorf("persist: model rename: %w", err)
 	}
-	manJSON, err := json.MarshalIndent(&man, "", "  ")
-	if err != nil {
+	if err := s.writeManifest(man); err != nil {
 		return Manifest{}, err
 	}
-	manPath := strings.TrimSuffix(final, modelSuffix) + ".json"
-	if err := os.WriteFile(manPath, append(manJSON, '\n'), 0o644); err != nil {
-		return Manifest{}, fmt.Errorf("persist: model manifest: %w", err)
-	}
 	return man, nil
+}
+
+func (s *ModelStore) manifestPath(version int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("model-%06d.json", version))
+}
+
+// writeManifest atomically (re)writes version's sidecar manifest.
+func (s *ModelStore) writeManifest(man Manifest) error {
+	manJSON, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: manifest temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(manJSON, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: manifest write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.manifestPath(man.Version)); err != nil {
+		return fmt.Errorf("persist: manifest rename: %w", err)
+	}
+	return nil
+}
+
+// manifest reads version's sidecar, synthesizing a minimal manifest
+// when the sidecar is missing or unreadable (legacy artifacts).
+func (s *ModelStore) manifest(version int) Manifest {
+	man := Manifest{Version: version}
+	if mb, err := os.ReadFile(s.manifestPath(version)); err == nil {
+		var parsed Manifest
+		if json.Unmarshal(mb, &parsed) == nil {
+			man = parsed
+			man.Version = version
+		}
+	}
+	return man
+}
+
+// List returns every on-disk artifact's manifest, ascending by version
+// — the deployment lineage served by GET /admin/models.
+func (s *ModelStore) List() []Manifest {
+	vs := s.versions()
+	mans := make([]Manifest, 0, len(vs))
+	for _, v := range vs {
+		mans = append(mans, s.manifest(v))
+	}
+	return mans
+}
+
+// SetStatus rewrites version's manifest with a new lifecycle status,
+// appending reasons to any already recorded. Marking a live artifact
+// rolled_back is what keeps a restart from reloading it.
+func (s *ModelStore) SetStatus(version int, status string, reasons ...string) error {
+	if _, err := os.Stat(filepath.Join(s.dir, modelName(version))); err != nil {
+		return fmt.Errorf("persist: set status v%d: %w", version, err)
+	}
+	man := s.manifest(version)
+	man.Status = status
+	man.Reasons = append(man.Reasons, reasons...)
+	return s.writeManifest(man)
 }
 
 // load reads and validates one artifact version.
@@ -322,15 +420,35 @@ func (s *ModelStore) load(version int) (*LoadedModel, error) {
 	return lm, nil
 }
 
-// LoadLatest restores the newest valid artifact, falling back to older
-// versions when a file is corrupt (each skip is logged). ErrNoArtifact
-// when nothing loads.
+// LoadLatest restores the newest valid accepted artifact, falling back
+// to older versions when a file is corrupt or the artifact is
+// quarantined/rolled back (each skip is logged). ErrNoArtifact when
+// nothing loads.
 func (s *ModelStore) LoadLatest() (*LoadedModel, error) {
+	return s.loadNewestAccepted(int(^uint(0) >> 1)) // max int
+}
+
+// LoadPreviousAccepted restores the newest accepted artifact strictly
+// older than the given version — the rollback target after version
+// regressed. ErrNoArtifact when no older accepted artifact exists.
+func (s *ModelStore) LoadPreviousAccepted(before int) (*LoadedModel, error) {
+	return s.loadNewestAccepted(before)
+}
+
+func (s *ModelStore) loadNewestAccepted(before int) (*LoadedModel, error) {
 	vs := s.versions()
 	for i := len(vs) - 1; i >= 0; i-- {
-		lm, err := s.load(vs[i])
+		v := vs[i]
+		if v >= before {
+			continue
+		}
+		if man := s.manifest(v); !man.Loadable() {
+			s.logf("persist: skipping model artifact v%d: status %s", v, man.Status)
+			continue
+		}
+		lm, err := s.load(v)
 		if err != nil {
-			s.logf("persist: skipping model artifact v%d: %v", vs[i], err)
+			s.logf("persist: skipping model artifact v%d: %v", v, err)
 			continue
 		}
 		return lm, nil

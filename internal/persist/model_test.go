@@ -184,3 +184,115 @@ func TestModelStoreEmpty(t *testing.T) {
 		t.Fatalf("err %v want ErrNoArtifact", err)
 	}
 }
+
+func testGCN(seed uint64) gnn.Model {
+	return gnn.NewGCN(gnn.Config{InDim: 3, Hidden: []int{4}, MLPHidden: 2, Seed: seed})
+}
+
+func TestModelStoreQuarantinedNeverAutoLoaded(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	if _, err := store.Save(testGCN(5), Extras{}); err != nil { // v1 accepted
+		t.Fatal(err)
+	}
+	man, err := store.SaveStatus(testGCN(99), Extras{}, StatusQuarantined,
+		[]string{"holdout AUC 0.5012 below floor 0.8000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 2 || man.Status != StatusQuarantined || len(man.Reasons) != 1 {
+		t.Fatalf("quarantined manifest %+v", man)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Manifest.Version != 1 {
+		t.Fatalf("LoadLatest served v%d, want the accepted v1", lm.Manifest.Version)
+	}
+	// The quarantined artifact is still on disk with its reasons.
+	mans := store.List()
+	if len(mans) != 2 {
+		t.Fatalf("List returned %d manifests, want 2", len(mans))
+	}
+	if mans[1].Status != StatusQuarantined || len(mans[1].Reasons) != 1 {
+		t.Fatalf("quarantined lineage entry %+v", mans[1])
+	}
+}
+
+func TestModelStoreOnlyQuarantinedIsNoArtifact(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	if _, err := store.SaveStatus(testGCN(7), Extras{}, StatusQuarantined, []string{"bad"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.LoadLatest(); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("err %v want ErrNoArtifact when only quarantined artifacts exist", err)
+	}
+}
+
+func TestModelStoreLoadPreviousAccepted(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	for i := 0; i < 3; i++ { // v1..v3 accepted
+		if _, err := store.Save(testGCN(uint64(i+1)), Extras{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := store.SaveStatus(testGCN(50), Extras{}, StatusQuarantined, nil); err != nil { // v4
+		t.Fatal(err)
+	}
+	lm, err := store.LoadPreviousAccepted(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Manifest.Version != 2 {
+		t.Fatalf("previous accepted before v3 = v%d, want v2", lm.Manifest.Version)
+	}
+	// Before v1 there is nothing.
+	if _, err := store.LoadPreviousAccepted(1); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("err %v want ErrNoArtifact before v1", err)
+	}
+}
+
+func TestModelStoreSetStatusExcludesFromBoot(t *testing.T) {
+	store := newTestStore(t, t.TempDir())
+	if _, err := store.Save(testGCN(1), Extras{}); err != nil { // v1
+		t.Fatal(err)
+	}
+	if _, err := store.Save(testGCN(2), Extras{}); err != nil { // v2
+		t.Fatal(err)
+	}
+	// Monitor rolled v2 back: a restart must boot v1.
+	if err := store.SetStatus(2, StatusRolledBack, "error rate 0.5 above ceiling 0.05"); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Manifest.Version != 1 {
+		t.Fatalf("boot loaded v%d after v2 was rolled back, want v1", lm.Manifest.Version)
+	}
+	mans := store.List()
+	if mans[1].Status != StatusRolledBack || len(mans[1].Reasons) != 1 {
+		t.Fatalf("rolled-back lineage entry %+v", mans[1])
+	}
+	if err := store.SetStatus(42, StatusQuarantined); err == nil {
+		t.Fatal("SetStatus on a missing version should fail")
+	}
+}
+
+func TestManifestLoadable(t *testing.T) {
+	cases := []struct {
+		status string
+		want   bool
+	}{
+		{"", true}, // pre-lifecycle artifact
+		{StatusAccepted, true},
+		{StatusQuarantined, false},
+		{StatusRolledBack, false},
+	}
+	for _, c := range cases {
+		if got := (Manifest{Status: c.status}).Loadable(); got != c.want {
+			t.Fatalf("Loadable(%q) = %v, want %v", c.status, got, c.want)
+		}
+	}
+}

@@ -29,14 +29,20 @@ import (
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness: snapshot, model, breaker state
 //	POST /admin/checkpoint  force a full-state checkpoint now
-//	POST /admin/retrain     run one retrain pass now
+//	POST /admin/retrain     run one gated retrain pass now (gate verdict in the JSON)
 //	POST /admin/sweep       re-score every user via one full-graph sweep
+//	POST /admin/rollback    re-install the previous accepted model (?reason=...)
+//	GET  /admin/models      artifact lineage: every version with its lifecycle status
 //
 // Error contract: wrong method → 405, bad parameters → 400, unknown
-// user → 404, shed load → 429, uncaught deadline → 504, anything else →
-// a generic 500 (internal error strings go to ErrorLog, not the wire).
-// The admin endpoints additionally answer 503 until SetReady(true) and
-// when their hook is not configured.
+// user → 404, oversized body → 413, shed load → 429, uncaught deadline
+// → 504, anything else → a generic 500 (internal error strings go to
+// ErrorLog, not the wire). The admin endpoints additionally answer 503
+// until SetReady(true) and when their hook is not configured; a
+// rollback with nothing to roll back to answers 409. Every POST body is
+// bounded by MaxBodyBytes, and /admin/retrain and /admin/sweep honor
+// request-context cancellation: a disconnected client unblocks the
+// handler immediately (the pass itself finishes in the background).
 type API struct {
 	Pred *PredictionServer
 	BN   *BNServer
@@ -49,7 +55,10 @@ type API struct {
 	// Sweep, when set, surfaces the full-graph sweep engine's progress in
 	// /stats (in-flight count and last report).
 	Sweep *SweepEngine
-	mux   *http.ServeMux
+	// MaxBodyBytes bounds every POST request body (0 selects 1 MiB);
+	// overflow answers 413 instead of exhausting memory.
+	MaxBodyBytes int64
+	mux          *http.ServeMux
 
 	// notReady gates /readyz and the admin endpoints during boot-time
 	// recovery. The zero value is ready, so embedders that never call
@@ -61,12 +70,24 @@ type API struct {
 type AdminHooks struct {
 	// Checkpoint forces a durable full-state checkpoint.
 	Checkpoint func() (persist.CheckpointInfo, error)
-	// Retrain runs one retrain pass synchronously.
-	Retrain func() error
+	// Retrain runs one retrain pass through the validation-gated
+	// lifecycle and reports the gate's verdict; ctx cancellation (client
+	// disconnect) must unblock promptly.
+	Retrain func(ctx context.Context) (RetrainReport, error)
 	// Sweep re-scores every audit-eligible user via one full-graph sweep
-	// and returns its report.
-	Sweep func() (SweepReport, error)
+	// and returns its report; ctx bounds the cancellable stages.
+	Sweep func(ctx context.Context) (SweepReport, error)
+	// Rollback re-installs the previous accepted model.
+	Rollback func(reason string) error
+	// Models returns the artifact lineage, and Lifecycle the manager's
+	// safe-deployment status.
+	Models    func() []persist.Manifest
+	Lifecycle func() LifecycleStatus
 }
+
+// defaultMaxBodyBytes bounds POST bodies when MaxBodyBytes is unset:
+// one behavior log or an admin request fits in well under 1 MiB.
+const defaultMaxBodyBytes = 1 << 20
 
 // NewAPI builds the HTTP handler around a prediction server.
 func NewAPI(pred *PredictionServer, bn *BNServer) *API {
@@ -84,7 +105,19 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/admin/checkpoint", a.handleAdminCheckpoint)
 	a.mux.HandleFunc("/admin/retrain", a.handleAdminRetrain)
 	a.mux.HandleFunc("/admin/sweep", a.handleAdminSweep)
+	a.mux.HandleFunc("/admin/rollback", a.handleAdminRollback)
+	a.mux.HandleFunc("/admin/models", requireGET(a.handleAdminModels))
 	return a
+}
+
+// limitBody caps r's body at MaxBodyBytes so a single oversized request
+// cannot exhaust memory; reads past the cap yield *http.MaxBytesError.
+func (a *API) limitBody(w http.ResponseWriter, r *http.Request) {
+	limit := a.MaxBodyBytes
+	if limit <= 0 {
+		limit = defaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 }
 
 // SetReady flips the boot-time readiness gate: false while recovering
@@ -119,8 +152,15 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	a.limitBody(w, r)
 	var l behavior.Log
 	if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("bad log: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -141,6 +181,7 @@ func (a *API) handleTransaction(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	a.limitBody(w, r)
 	uid, err := parseUID(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -282,7 +323,7 @@ func (a *API) handleSubgraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // requirePOSTReady gates an admin handler: POST only (405), 503 while
-// the server is still recovering.
+// the server is still recovering, and a bounded request body.
 func (a *API) requirePOSTReady(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -293,6 +334,7 @@ func (a *API) requirePOSTReady(w http.ResponseWriter, r *http.Request) bool {
 		http.Error(w, "server not ready", http.StatusServiceUnavailable)
 		return false
 	}
+	a.limitBody(w, r)
 	return true
 }
 
@@ -320,7 +362,34 @@ func (a *API) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleAdminRetrain runs one synchronous retrain pass.
+// runCancellable executes fn in its own goroutine and waits for either
+// its result or the request context: a disconnected client unblocks the
+// handler immediately (false return) instead of leaking a blocked
+// handler goroutine, while fn itself runs to completion in the
+// background with ctx telling it the caller is gone.
+func runCancellable[T any](ctx context.Context, fn func(ctx context.Context) (T, error)) (T, error, bool) {
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1) // buffered: the worker never blocks on an absent reader
+	go func() {
+		v, err := fn(ctx)
+		ch <- result{v, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.v, res.err, true
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err(), false
+	}
+}
+
+// handleAdminRetrain runs one retrain pass through the validation-gated
+// lifecycle and reports the gate's verdict. A rejected candidate is a
+// 200 with "accepted": false — the gate worked; only a training failure
+// is a 500. Client disconnect unblocks the handler immediately.
 func (a *API) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 	if !a.requirePOSTReady(w, r) {
 		return
@@ -329,16 +398,22 @@ func (a *API) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "retraining not configured", http.StatusServiceUnavailable)
 		return
 	}
-	if err := a.Admin.Retrain(); err != nil {
+	rep, err, done := runCancellable(r.Context(), a.Admin.Retrain)
+	if !done {
+		a.logf("admin/retrain: client gone: %v", err)
+		return // nobody left to answer
+	}
+	if err != nil {
 		a.logf("admin/retrain: %v", err)
 		http.Error(w, "retrain failed", http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"retrained": true})
+	writeJSON(w, rep)
 }
 
-// handleAdminSweep runs one synchronous full-graph re-score and returns
-// its report.
+// handleAdminSweep runs one full-graph re-score and returns its report.
+// Client disconnect unblocks the handler immediately; the cancelled
+// context also aborts the sweep's feature-fetch stage.
 func (a *API) handleAdminSweep(w http.ResponseWriter, r *http.Request) {
 	if !a.requirePOSTReady(w, r) {
 		return
@@ -347,13 +422,59 @@ func (a *API) handleAdminSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "sweeping not configured", http.StatusServiceUnavailable)
 		return
 	}
-	rep, err := a.Admin.Sweep()
+	rep, err, done := runCancellable(r.Context(), a.Admin.Sweep)
+	if !done {
+		a.logf("admin/sweep: client gone: %v", err)
+		return
+	}
 	if err != nil {
 		a.logf("admin/sweep: %v", err)
 		http.Error(w, "sweep failed", http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// handleAdminRollback re-installs the previous accepted model. 409 when
+// there is nothing to roll back to.
+func (a *API) handleAdminRollback(w http.ResponseWriter, r *http.Request) {
+	if !a.requirePOSTReady(w, r) {
+		return
+	}
+	if a.Admin.Rollback == nil {
+		http.Error(w, "rollback not configured", http.StatusServiceUnavailable)
+		return
+	}
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "operator rollback via /admin/rollback"
+	}
+	if err := a.Admin.Rollback(reason); err != nil {
+		a.logf("admin/rollback: %v", err)
+		http.Error(w, "nothing to roll back to", http.StatusConflict)
+		return
+	}
+	body := map[string]any{"rolled_back": true, "reason": reason}
+	if a.Admin.Lifecycle != nil {
+		body["lifecycle"] = a.Admin.Lifecycle()
+	}
+	writeJSON(w, body)
+}
+
+// handleAdminModels serves the deployment lineage: every artifact
+// version with its lifecycle status and rejection reasons, plus the
+// manager's safe-deployment summary.
+func (a *API) handleAdminModels(w http.ResponseWriter, r *http.Request) {
+	if a.Admin.Models == nil {
+		http.Error(w, "model lineage not configured", http.StatusServiceUnavailable)
+		return
+	}
+	models := a.Admin.Models()
+	body := map[string]any{"count": len(models), "models": models}
+	if a.Admin.Lifecycle != nil {
+		body["lifecycle"] = a.Admin.Lifecycle()
+	}
+	writeJSON(w, body)
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.

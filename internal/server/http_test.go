@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -430,7 +431,9 @@ func TestHTTPAdminEndpointsMethodAndReadiness(t *testing.T) {
 	api.Admin.Checkpoint = func() (persist.CheckpointInfo, error) {
 		return persist.CheckpointInfo{LSN: 7, Bytes: 128, TruncatedSegments: 1}, nil
 	}
-	api.Admin.Retrain = func() error { return nil }
+	api.Admin.Retrain = func(ctx context.Context) (RetrainReport, error) {
+		return RetrainReport{Accepted: true}, nil
+	}
 	api.SetReady(false)
 	for _, path := range []string{"/admin/checkpoint", "/admin/retrain"} {
 		resp, err := http.Post(srv.URL+path, "", nil)
@@ -474,7 +477,7 @@ func TestHTTPAdminEndpointsMethodAndReadiness(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || rt["retrained"] != true {
+	if resp.StatusCode != http.StatusOK || rt["accepted"] != true {
 		t.Fatalf("retrain response %d %+v", resp.StatusCode, rt)
 	}
 }

@@ -110,7 +110,7 @@ func TestHTTPAdminSweep(t *testing.T) {
 	api := NewAPI(pred, bnServer)
 	eng := NewSweepEngine(bnServer, pred)
 	api.Sweep = eng
-	api.Admin.Sweep = func() (SweepReport, error) { return eng.RunOnce(context.Background()) }
+	api.Admin.Sweep = func(ctx context.Context) (SweepReport, error) { return eng.RunOnce(ctx) }
 	srv := httptest.NewServer(api)
 	defer srv.Close()
 

@@ -5,6 +5,7 @@ import (
 	"log"
 	"time"
 
+	"turbo/internal/lifecycle"
 	"turbo/internal/persist"
 	"turbo/internal/resilience"
 	"turbo/internal/telemetry"
@@ -62,6 +63,11 @@ type TelemetryOptions struct {
 //	turbo_recovery_replayed_events        WAL records re-applied at boot
 //	turbo_retrain_failures_total          retrain passes that errored or panicked
 //	turbo_model_artifacts_total{result}   model artifact saves by result
+//	turbo_model_gate_total{result}        gate decisions: accepted vs rejected candidates
+//	turbo_model_gate_last_auc             last candidate's holdout AUC (-1 before any)
+//	turbo_model_gate_last_psi             last candidate/live score-distribution PSI (-1 before any)
+//	turbo_model_gate_last_disagreement    last candidate/live decision-flip rate (-1 before any)
+//	turbo_model_rollbacks_total           swaps withdrawn by the monitor or an operator
 //	turbo_sweep_seconds                   full-graph sweep wall-clock latency histogram
 //	turbo_sweep_shard_seconds             per-shard sweep compute-time histogram
 //	turbo_sweep_nodes_total               nodes scored by full-graph sweeps
@@ -97,6 +103,13 @@ type Telemetry struct {
 	retrainFails   *telemetry.Counter
 	artifactOK     *telemetry.Counter
 	artifactErr    *telemetry.Counter
+
+	gateAccepted     *telemetry.Counter
+	gateRejected     *telemetry.Counter
+	gateAUC          *telemetry.Gauge
+	gatePSI          *telemetry.Gauge
+	gateDisagreement *telemetry.Gauge
+	rollbacks        *telemetry.Counter
 
 	sweepSeconds      *telemetry.Histogram
 	sweepShardSeconds *telemetry.Histogram
@@ -179,6 +192,22 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 		"Model artifact save attempts by result.", "result")
 	t.artifactOK = artifacts.With("saved")
 	t.artifactErr = artifacts.With("error")
+
+	gate := reg.CounterVec("turbo_model_gate_total",
+		"Validation-gate decisions on candidate models.", "result")
+	t.gateAccepted = gate.With("accepted")
+	t.gateRejected = gate.With("rejected")
+	t.gateAUC = reg.Gauge("turbo_model_gate_last_auc",
+		"Holdout AUC of the last gated candidate (-1 before any evaluation).")
+	t.gatePSI = reg.Gauge("turbo_model_gate_last_psi",
+		"Candidate/live score-distribution PSI of the last gated candidate (-1 before any evaluation).")
+	t.gateDisagreement = reg.Gauge("turbo_model_gate_last_disagreement",
+		"Candidate/live decision disagreement rate of the last gated candidate (-1 before any evaluation).")
+	t.gateAUC.Set(-1)
+	t.gatePSI.Set(-1)
+	t.gateDisagreement.Set(-1)
+	t.rollbacks = reg.Counter("turbo_model_rollbacks_total",
+		"Model swaps withdrawn by the rollback monitor or an operator.")
 
 	t.sweepSeconds = reg.Histogram("turbo_sweep_seconds",
 		"Full-graph sweep wall-clock latency.", opts.Buckets)
@@ -415,4 +444,32 @@ func (t *Telemetry) ArtifactSaved(ok bool) {
 	} else {
 		t.artifactErr.Inc()
 	}
+}
+
+// GateEvaluated records one validation-gate decision and mirrors the
+// candidate's shadow statistics into the last-evaluation gauges.
+func (t *Telemetry) GateEvaluated(v lifecycle.Verdict) {
+	if t == nil {
+		return
+	}
+	if v.Accepted {
+		t.gateAccepted.Inc()
+	} else {
+		t.gateRejected.Inc()
+	}
+	if h := v.Report.Holdout; h != nil {
+		t.gateAUC.Set(h.AUC)
+	}
+	if c := v.Report.Cohort; c != nil {
+		t.gatePSI.Set(c.PSI)
+		t.gateDisagreement.Set(c.Disagreement)
+	}
+}
+
+// RolledBack counts one withdrawn model swap.
+func (t *Telemetry) RolledBack() {
+	if t == nil {
+		return
+	}
+	t.rollbacks.Inc()
 }

@@ -85,6 +85,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE turbo_feature_fanout_inflight gauge",
 		"turbo_traces_slow_total 0",
 		`turbo_faults_injected_total{kind="error"} 0`,
+		// Model lifecycle: no gate decision or rollback yet, gauges at
+		// their -1 sentinel.
+		`turbo_model_gate_total{result="accepted"} 0`,
+		`turbo_model_gate_total{result="rejected"} 0`,
+		"turbo_model_gate_last_auc -1",
+		"turbo_model_gate_last_psi -1",
+		"turbo_model_gate_last_disagreement -1",
+		"turbo_model_rollbacks_total 0",
+		"# TYPE turbo_model_gate_total counter",
+		"# TYPE turbo_model_gate_last_auc gauge",
+		"# TYPE turbo_model_rollbacks_total counter",
 		"# TYPE turbo_audit_stage_seconds histogram",
 		"# TYPE turbo_audit_outcomes_total counter",
 		"# TYPE turbo_breaker_state gauge",

@@ -20,14 +20,17 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring / tape-free infer / persist / full-graph sweep)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/... ./internal/sweep/... ./internal/feature/...
+echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring / tape-free infer / persist / full-graph sweep / model lifecycle)"
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/... ./internal/sweep/... ./internal/feature/... ./internal/lifecycle/...
 
 echo "== sweep-equivalence smoke (sharded layer-at-a-time sweep vs per-node gnn.Score, all models)"
 go test -race -run 'TestSweepMatchesPerNodeScore|TestSweepMatchesBatchScores|TestSweepSnapshotIsolation' ./internal/sweep/
 
 echo "== crash-recovery property test (random kill points, under -race)"
 go test -race -run 'TestRecoveryKillPoints|TestKillAndRestartRecoversExactState' ./internal/server/
+
+echo "== model-lifecycle gate smoke (degenerate candidate rejected + quarantined, bad swap auto-rolled-back, under -race)"
+go test -race -run 'TestGatedRetrainRejectQuarantines|TestAutoRollbackOnErrorRate|TestModelStoreQuarantinedNeverAutoLoaded' ./internal/server/ ./internal/persist/
 
 echo "== fuzz smoke (WAL payload decoder, 10s)"
 go test -fuzz FuzzDecodeBehavior -fuzztime 10s -run 'XXX-none' ./internal/behavior/
