@@ -1,0 +1,199 @@
+// Command turbo-loadgen drives a running turbo-server with an
+// open-loop (schedule-based, coordinated-omission-safe) arrival
+// process and writes the latency scoreboard to BENCH_load.json.
+//
+// The arrival schedule is fixed before the run — op i starts at
+// t0 + i/QPS — and every op's latency is measured from that intended
+// start, so server stalls surface in the percentiles instead of
+// silently stretching the run (see DESIGN.md §12).
+//
+// Usage:
+//
+//	turbo-server -preset tiny &
+//	turbo-loadgen -base http://127.0.0.1:8080 -qps 200 -duration 10s
+//	turbo-loadgen -base http://127.0.0.1:8080 -ramp 100:100:1000:5s   # find max sustainable QPS
+//	cat BENCH_load.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/datagen"
+	"turbo/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("turbo-loadgen: ")
+
+	base := flag.String("base", "http://127.0.0.1:8080", "turbo-server base URL")
+	qps := flag.Float64("qps", 100, "offered rate for a single-stage run")
+	duration := flag.Duration("duration", 10*time.Second, "duration of a single-stage run")
+	stagesSpec := flag.String("stages", "", "explicit stages as qps:dur[,qps:dur...] (overrides -qps/-duration)")
+	rampSpec := flag.String("ramp", "", "stepped ramp start:step:max:dur to find max sustainable QPS (stops at first unsustained stage)")
+	auditFrac := flag.Float64("mix.audit", 0.5, "fraction of ops that are audits (GET /predict); the rest ingest (POST /ingest)")
+	users := flag.Int("users", 300, "audit uid space [1,users]; match the server's preset or streamed world")
+	workers := flag.Int("workers", 128, "in-flight request bound (shapes concurrency, never the schedule)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	seed := flag.Uint64("seed", 42, "workload seed (op mix, uids, payloads)")
+	streamUsers := flag.Int("stream.users", 0, "draw ingest payloads from the streaming datagen world of this many users (0 = synthetic source); supports million-user workloads in constant memory")
+	out := flag.String("out", "BENCH_load.json", "scoreboard output path (- for stdout only)")
+	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for /readyz before starting")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		AuditFrac: *auditFrac,
+		Users:     *users,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		Seed:      *seed,
+	}
+	switch {
+	case *rampSpec != "":
+		start, step, max, d, err := parseRamp(*rampSpec)
+		if err != nil {
+			log.Fatalf("-ramp: %v", err)
+		}
+		cfg.Stages = loadgen.RampStages(start, step, max, d)
+		cfg.StopAfterUnsustained = true
+	case *stagesSpec != "":
+		st, err := parseStages(*stagesSpec)
+		if err != nil {
+			log.Fatalf("-stages: %v", err)
+		}
+		cfg.Stages = st
+	default:
+		cfg.Stages = []loadgen.Stage{{QPS: *qps, Duration: *duration}}
+	}
+	if *streamUsers > 0 {
+		scfg := datagen.DefaultStreamConfig(*streamUsers)
+		scfg.Seed = *seed
+		cfg.Source = &streamSource{s: datagen.NewStream(scfg)}
+		if *users == 300 { // widen the default audit space to the streamed world
+			cfg.Users = *streamUsers
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	target := loadgen.NewHTTPTarget(*base, cfg.Workers)
+	waitCtx, cancel := context.WithTimeout(ctx, *readyWait)
+	err := target.WaitReady(waitCtx)
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("driving %s: %d stage(s), mix %.0f%% audit, %d workers, seed %d",
+		*base, len(cfg.Stages), cfg.AuditFrac*100, cfg.Workers, cfg.Seed)
+	rep, err := loadgen.Run(ctx, cfg, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Target = *base
+
+	for _, st := range rep.Stages {
+		verdict := "SUSTAINED"
+		if !st.Sustained {
+			verdict = "unsustained"
+		}
+		log.Printf("stage %6.0f qps: achieved %7.1f, errors %5.2f%%  [%s]",
+			st.OfferedQPS, st.AchievedQPS, st.ErrorRate*100, verdict)
+		for kind, ep := range st.Endpoints {
+			log.Printf("  %-6s p50 %8.2fms  p99 %8.2fms  p999 %8.2fms  max %8.2fms  (service p50 %.2fms)",
+				kind, ep.P50Ms, ep.P99Ms, ep.P999Ms, ep.MaxMs, ep.ServiceP50Ms)
+		}
+	}
+	log.Printf("max sustainable QPS: %.0f", rep.MaxSustainableQPS)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scoreboard written to %s", *out)
+}
+
+// streamSource adapts the streaming datagen world as an ingest payload
+// source: event values come from the stream (rings, shared assets),
+// timestamps are re-stamped to the schedule so the server's ingest-lag
+// watermark tracks the wall clock. The stream restarts when exhausted.
+type streamSource struct {
+	s *datagen.Stream
+}
+
+func (ss *streamSource) NextLog(now time.Time) behavior.Log {
+	l, ok := ss.s.Next()
+	if !ok {
+		// Wrap around: long runs replay the world.
+		cfg := datagen.DefaultStreamConfig(ss.s.Users())
+		ss.s = datagen.NewStream(cfg)
+		l, _ = ss.s.Next()
+	}
+	l.Time = now
+	return l
+}
+
+// parseStages parses "100:10s,200:10s".
+func parseStages(spec string) ([]loadgen.Stage, error) {
+	var stages []loadgen.Stage
+	for _, part := range strings.Split(spec, ",") {
+		qs, ds, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("stage %q: want qps:duration", part)
+		}
+		qps, err := strconv.ParseFloat(qs, 64)
+		if err != nil || qps <= 0 {
+			return nil, fmt.Errorf("stage %q: bad qps", part)
+		}
+		d, err := time.ParseDuration(ds)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("stage %q: bad duration", part)
+		}
+		stages = append(stages, loadgen.Stage{QPS: qps, Duration: d})
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("empty spec")
+	}
+	return stages, nil
+}
+
+// parseRamp parses "start:step:max:dur".
+func parseRamp(spec string) (start, step, max float64, d time.Duration, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return 0, 0, 0, 0, fmt.Errorf("%q: want start:step:max:duration", spec)
+	}
+	if start, err = strconv.ParseFloat(parts[0], 64); err != nil || start <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("bad start %q", parts[0])
+	}
+	if step, err = strconv.ParseFloat(parts[1], 64); err != nil || step <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("bad step %q", parts[1])
+	}
+	if max, err = strconv.ParseFloat(parts[2], 64); err != nil || max < start {
+		return 0, 0, 0, 0, fmt.Errorf("bad max %q", parts[2])
+	}
+	if d, err = time.ParseDuration(parts[3]); err != nil || d <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("bad duration %q", parts[3])
+	}
+	return start, step, max, d, nil
+}

@@ -94,6 +94,12 @@ type Builder struct {
 	jobs        atomic.Int64
 	edgeUpdates atomic.Int64
 	pruned      atomic.Int64
+
+	// processedThrough is the event-time frontier (unix nanos): every
+	// window's epochs before it have been materialized into edges. It
+	// feeds the turbo_bn_build_lag_seconds gauge, so it is atomic and
+	// readable concurrently with Advance.
+	processedThrough atomic.Int64
 }
 
 // BuildStats are the builder's cumulative construction totals.
@@ -129,6 +135,7 @@ func NewBuilder(cfg Config, store *behavior.Store, g *graph.Graph, t0 time.Time)
 	for i := range b.nextEpoch {
 		b.nextEpoch[i] = t0
 	}
+	b.publishFrontier()
 	return b, nil
 }
 
@@ -182,7 +189,27 @@ func (b *Builder) Advance(now time.Time) int {
 	}
 	b.jobs.Add(int64(jobs))
 	b.pruned.Add(int64(b.g.Prune(now)))
+	b.publishFrontier()
 	return jobs
+}
+
+// publishFrontier republishes the processed-through frontier: the
+// earliest next-unprocessed-epoch start across the window hierarchy.
+// Events before it are fully materialized by every window.
+func (b *Builder) publishFrontier() {
+	frontier := b.nextEpoch[0]
+	for _, t := range b.nextEpoch[1:] {
+		if t.Before(frontier) {
+			frontier = t
+		}
+	}
+	b.processedThrough.Store(frontier.UnixNano())
+}
+
+// ProcessedThrough returns the event-time frontier fully materialized
+// by the scheduled window jobs. Safe to call concurrently with Advance.
+func (b *Builder) ProcessedThrough() time.Time {
+	return time.Unix(0, b.processedThrough.Load())
 }
 
 // BuildRange batch-constructs the BN over [from, to), producing exactly
@@ -265,6 +292,7 @@ func (b *Builder) RestoreNextEpochs(ts []time.Time) error {
 		return fmt.Errorf("bn: restore: %d epoch cursors for %d windows", len(ts), len(b.nextEpoch))
 	}
 	copy(b.nextEpoch, ts)
+	b.publishFrontier()
 	return nil
 }
 

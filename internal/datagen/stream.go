@@ -1,0 +1,290 @@
+package datagen
+
+import (
+	"fmt"
+	"time"
+
+	"turbo/internal/behavior"
+	"turbo/internal/tensor"
+)
+
+// StreamConfig parameterizes the streaming event source. Unlike Config
+// it describes an *arrival process*, not a batch world: users apply in
+// uid order at a fixed spacing across Duration, and their behavior
+// logs are emitted in global event-time order without ever
+// materializing the full log set, so million-user workloads run in
+// memory bounded by the activity window rather than the world size.
+type StreamConfig struct {
+	Users int
+	Seed  uint64
+	// Start anchors the stream; Duration is the span over which the
+	// Users application times are spread.
+	Start    time.Time
+	Duration time.Duration
+
+	// FraudRatio is the approximate fraction of fraudulent users; rings
+	// are blocks of consecutive uids sharing den assets and a campaign
+	// burst (the streaming analogue of the batch generator's rings).
+	FraudRatio               float64
+	RingSizeMin, RingSizeMax int
+
+	// SessionsMin/Max bound per-user session counts (each session emits
+	// one log per identifier type used).
+	SessionsMin, SessionsMax int
+	// ActivityWindow is how far before application time a normal user's
+	// sessions spread. It bounds the generator's look-back buffer: keep
+	// it small relative to Duration for constant-memory behavior.
+	ActivityWindow time.Duration
+	// FraudBurst is the half-width of the fraud-session burst around
+	// the ring's campaign time.
+	FraudBurst time.Duration
+}
+
+// DefaultStreamConfig returns a load-harness-friendly stream: n users
+// across 30 days with a compact activity window so the in-flight
+// buffer stays small at any n.
+func DefaultStreamConfig(n int) StreamConfig {
+	return StreamConfig{
+		Users:          n,
+		Seed:           42,
+		Start:          time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC),
+		Duration:       30 * 24 * time.Hour,
+		FraudRatio:     0.05,
+		RingSizeMin:    4,
+		RingSizeMax:    10,
+		SessionsMin:    1,
+		SessionsMax:    3,
+		ActivityWindow: 6 * time.Hour,
+		FraudBurst:     2 * time.Hour,
+	}
+}
+
+// spacing returns the inter-application interval.
+func (c StreamConfig) spacing() time.Duration {
+	if c.Users <= 0 {
+		return c.Duration
+	}
+	return c.Duration / time.Duration(c.Users)
+}
+
+// lookback is the widest interval a user's logs can precede the app
+// time of any later user: own activity window, plus the campaign skew
+// of a maximal ring (members burst near the FIRST member's app time),
+// plus the burst half-width.
+func (c StreamConfig) lookback() time.Duration {
+	return c.ActivityWindow + c.FraudBurst + time.Duration(c.RingSizeMax)*c.spacing()
+}
+
+// Stream generates behavior logs in non-decreasing event-time order.
+// It is a pull-based iterator: Next returns one log at a time; the
+// internal buffer holds only the logs inside a sliding look-back
+// window, so resident memory is O(window) regardless of Users. Not
+// safe for concurrent use.
+type Stream struct {
+	cfg StreamConfig
+	rng *tensor.RNG
+
+	nextUID int // next user to expand into logs
+	ringRem int // members left in the active ring
+	ring    streamRing
+
+	heap streamHeap
+
+	// stats
+	emitted int64
+	frauds  int
+}
+
+// streamRing is the den identity shared by one block of consecutive
+// fraudulent uids.
+type streamRing struct {
+	id       int
+	campaign time.Time
+	size     int
+}
+
+// NewStream builds a deterministic stream for cfg.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Users < 0 {
+		cfg.Users = 0
+	}
+	if cfg.SessionsMin < 1 {
+		cfg.SessionsMin = 1
+	}
+	if cfg.SessionsMax < cfg.SessionsMin {
+		cfg.SessionsMax = cfg.SessionsMin
+	}
+	if cfg.RingSizeMin < 2 {
+		cfg.RingSizeMin = 2
+	}
+	if cfg.RingSizeMax < cfg.RingSizeMin {
+		cfg.RingSizeMax = cfg.RingSizeMin
+	}
+	return &Stream{cfg: cfg, rng: tensor.NewRNG(cfg.Seed | 1)}
+}
+
+// Users returns the configured user count.
+func (s *Stream) Users() int { return s.cfg.Users }
+
+// Emitted returns the number of logs returned so far.
+func (s *Stream) Emitted() int64 { return s.emitted }
+
+// Frauds returns the number of fraudulent users expanded so far.
+func (s *Stream) Frauds() int { return s.frauds }
+
+// appTime returns user i's application time: strictly increasing in i
+// (fixed spacing plus a sub-spacing jitter drawn from the uid hash).
+func (s *Stream) appTime(uid int) time.Time {
+	sp := s.cfg.spacing()
+	h := (uint64(uid)*0x9E3779B97F4A7C15 + s.cfg.Seed) >> 11
+	jitter := time.Duration(h % uint64(maxInt64(int64(sp), 1)))
+	return s.cfg.Start.Add(time.Duration(uid)*sp + jitter)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Next returns the next log in event-time order; ok is false when the
+// stream is exhausted.
+func (s *Stream) Next() (log behavior.Log, ok bool) {
+	// Expand users until the heap's minimum is safe to emit: every
+	// unexpanded user j has logs no earlier than appTime(j)-lookback,
+	// and appTime is monotone, so once the top of the heap is older
+	// than that frontier no future log can precede it.
+	for s.nextUID < s.cfg.Users {
+		if s.heap.len() > 0 {
+			frontier := s.appTime(s.nextUID).Add(-s.cfg.lookback())
+			if !s.heap.min().Time.After(frontier) {
+				break
+			}
+		}
+		s.expandUser(s.nextUID)
+		s.nextUID++
+	}
+	if s.heap.len() == 0 {
+		return behavior.Log{}, false
+	}
+	s.emitted++
+	return s.heap.pop(), true
+}
+
+// expandUser pushes every log of one user onto the heap.
+func (s *Stream) expandUser(uid int) {
+	r := s.rng
+	at := s.appTime(uid)
+	fraud := s.ringRem > 0
+	if !fraud && s.cfg.FraudRatio > 0 && s.cfg.Users-uid >= s.cfg.RingSizeMin {
+		// Probability of opening a ring at a non-member uid, tuned so
+		// the expected member fraction approximates FraudRatio.
+		meanSize := float64(s.cfg.RingSizeMin+s.cfg.RingSizeMax) / 2
+		if r.Float64() < s.cfg.FraudRatio/meanSize {
+			size := s.cfg.RingSizeMin
+			if s.cfg.RingSizeMax > s.cfg.RingSizeMin {
+				size += r.Intn(s.cfg.RingSizeMax - s.cfg.RingSizeMin + 1)
+			}
+			if left := s.cfg.Users - uid; size > left {
+				size = left
+			}
+			s.ring = streamRing{id: uid, campaign: at, size: size}
+			s.ringRem = size
+			fraud = true
+		}
+	}
+
+	sessions := s.cfg.SessionsMin
+	if s.cfg.SessionsMax > s.cfg.SessionsMin {
+		sessions += r.Intn(s.cfg.SessionsMax - s.cfg.SessionsMin + 1)
+	}
+	u := behavior.UserID(uid)
+	if fraud {
+		s.ringRem--
+		s.frauds++
+		den := s.ring.id
+		for i := 0; i < sessions; i++ {
+			// Triangular burst around the ring campaign time.
+			off := time.Duration((r.Float64() + r.Float64() - 1) * float64(s.cfg.FraudBurst))
+			t := s.ring.campaign.Add(off)
+			dev := fmt.Sprintf("ringdev-%d-%d", den, i%2)
+			s.push(u, behavior.DeviceID, dev, t)
+			s.push(u, behavior.IMEI, "imei-"+dev, t.Add(5*time.Second))
+			s.push(u, behavior.IPv4, fmt.Sprintf("den-ip-%d", den), t.Add(10*time.Second))
+			s.push(u, behavior.WiFiMAC, fmt.Sprintf("den-wifi-%d", den), t.Add(15*time.Second))
+			s.push(u, behavior.GPS100, fmt.Sprintf("den-cell-%d", den), t.Add(20*time.Second))
+		}
+		s.push(u, behavior.GPSDev, fmt.Sprintf("ring-del-%d", den), at)
+	} else {
+		for i := 0; i < sessions; i++ {
+			t := at.Add(-time.Duration(r.Float64() * float64(s.cfg.ActivityWindow)))
+			dev := fmt.Sprintf("dev-%d", uid)
+			s.push(u, behavior.DeviceID, dev, t)
+			s.push(u, behavior.IMEI, "imei-"+dev, t.Add(5*time.Second))
+			s.push(u, behavior.IPv4, fmt.Sprintf("home-ip-%d", uid/2), t.Add(10*time.Second))
+			s.push(u, behavior.GPS100, fmt.Sprintf("home-cell-%d", uid/6), t.Add(15*time.Second))
+			if i == 0 {
+				s.push(u, behavior.Workplace, fmt.Sprintf("work-%d", uid/25), t.Add(20*time.Second))
+			}
+		}
+		s.push(u, behavior.GPSDev, fmt.Sprintf("del-%d", uid), at)
+	}
+}
+
+// push clamps a log into the stream's safe range and buffers it. Times
+// are floored at appTime-lookback so the emission frontier invariant
+// holds even for burst draws at the extreme.
+func (s *Stream) push(u behavior.UserID, ty behavior.Type, val string, at time.Time) {
+	if lo := s.appTime(int(u)).Add(-s.cfg.lookback()); at.Before(lo) {
+		at = lo
+	}
+	s.heap.push(behavior.Log{User: u, Type: ty, Value: val, Time: at})
+}
+
+// streamHeap is a binary min-heap of logs ordered by Time (no
+// interface boxing; this is the generator's hot loop).
+type streamHeap struct {
+	a []behavior.Log
+}
+
+func (h *streamHeap) len() int          { return len(h.a) }
+func (h *streamHeap) min() behavior.Log { return h.a[0] }
+
+func (h *streamHeap) push(l behavior.Log) {
+	h.a = append(h.a, l)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.a[i].Time.Before(h.a[p].Time) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *streamHeap) pop() behavior.Log {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = behavior.Log{} // release the Value string
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l].Time.Before(h.a[small].Time) {
+			small = l
+		}
+		if r < last && h.a[r].Time.Before(h.a[small].Time) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"turbo/internal/behavior"
+)
+
+// TestStreamOrderedAndComplete asserts the stream emits every user's
+// logs in non-decreasing event-time order.
+func TestStreamOrderedAndComplete(t *testing.T) {
+	cfg := DefaultStreamConfig(5000)
+	s := NewStream(cfg)
+	var (
+		n    int64
+		last time.Time
+		seen = make(map[behavior.UserID]bool)
+	)
+	for {
+		l, ok := s.Next()
+		if !ok {
+			break
+		}
+		if n > 0 && l.Time.Before(last) {
+			t.Fatalf("log %d at %v precedes previous %v", n, l.Time, last)
+		}
+		if !l.Type.Valid() {
+			t.Fatalf("invalid type %v", l.Type)
+		}
+		last = l.Time
+		seen[l.User] = true
+		n++
+	}
+	if len(seen) != cfg.Users {
+		t.Fatalf("stream covered %d users, want %d", len(seen), cfg.Users)
+	}
+	if n != s.Emitted() {
+		t.Fatalf("emitted %d != counter %d", n, s.Emitted())
+	}
+	// Every user emits at least sessions*types + delivery logs.
+	if n < int64(cfg.Users*3) {
+		t.Fatalf("only %d logs for %d users", n, cfg.Users)
+	}
+}
+
+// TestStreamDeterministic asserts two streams with the same seed agree
+// log for log, and a different seed diverges.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := DefaultStreamConfig(2000)
+	a, b := NewStream(cfg), NewStream(cfg)
+	for i := 0; ; i++ {
+		la, oka := a.Next()
+		lb, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("streams disagree on length at %d", i)
+		}
+		if !oka {
+			break
+		}
+		if la != lb {
+			t.Fatalf("log %d differs: %+v vs %+v", i, la, lb)
+		}
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = 7
+	c := NewStream(cfg2)
+	diverged := false
+	a2 := NewStream(cfg)
+	for i := 0; i < 1000; i++ {
+		la, _ := a2.Next()
+		lc, _ := c.Next()
+		if la != lc {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical prefixes")
+	}
+}
+
+// TestStreamRings asserts the fraud fraction tracks the configured
+// ratio and ring members co-occur on shared den identifiers.
+func TestStreamRings(t *testing.T) {
+	cfg := DefaultStreamConfig(20000)
+	s := NewStream(cfg)
+	denUsers := make(map[string]map[behavior.UserID]bool)
+	for {
+		l, ok := s.Next()
+		if !ok {
+			break
+		}
+		if l.Type == behavior.DeviceID && strings.HasPrefix(l.Value, "ringdev-") {
+			m := denUsers[l.Value]
+			if m == nil {
+				m = make(map[behavior.UserID]bool)
+				denUsers[l.Value] = m
+			}
+			m[l.User] = true
+		}
+	}
+	frac := float64(s.Frauds()) / float64(cfg.Users)
+	if frac < cfg.FraudRatio/3 || frac > cfg.FraudRatio*3 {
+		t.Fatalf("fraud fraction %.4f, config %.4f", frac, cfg.FraudRatio)
+	}
+	if len(denUsers) == 0 {
+		t.Fatal("no ring devices emitted")
+	}
+	shared := 0
+	for _, m := range denUsers {
+		if len(m) >= cfg.RingSizeMin {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatalf("no ring device shared by ≥ %d members", cfg.RingSizeMin)
+	}
+}
+
+// TestStreamBoundedMemory is the acceptance check for the streaming
+// generator: a 1M-user stream must run in memory bounded by the
+// activity window, not the world size (the batch generator would hold
+// ~10M logs ≈ gigabytes; the stream's live buffer is a few-hour
+// sliding window). The ceiling is asserted on heap growth sampled
+// during the run.
+func TestStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-user stream takes ~1min under -race; full tier-1 runs it")
+	}
+	cfg := DefaultStreamConfig(1_000_000)
+	cfg.SessionsMin, cfg.SessionsMax = 1, 1
+	s := NewStream(cfg)
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	const ceiling = 128 << 20 // 128 MiB of growth
+	var n int64
+	var last time.Time
+	for {
+		l, ok := s.Next()
+		if !ok {
+			break
+		}
+		if n > 0 && l.Time.Before(last) {
+			t.Fatalf("ordering violated at log %d", n)
+		}
+		last = l.Time
+		n++
+		if n%2_000_000 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if grow := int64(ms.HeapAlloc) - int64(base); grow > ceiling {
+				t.Fatalf("heap grew %d MiB at log %d, ceiling %d MiB",
+					grow>>20, n, int64(ceiling)>>20)
+			}
+		}
+	}
+	if n < 4_000_000 {
+		t.Fatalf("1M-user stream emitted only %d logs", n)
+	}
+	t.Logf("emitted %d logs for %d users, frauds %d", n, s.Users(), s.Frauds())
+}

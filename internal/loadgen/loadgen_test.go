@@ -1,0 +1,276 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// okServer answers every op with the matching success status.
+func okServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		w.Write([]byte(`{"score":0.1}`))
+	}))
+}
+
+// TestLoadgenSmoke is the CI smoke: a short low-QPS run against an
+// in-process server with a deterministic seed must complete requests
+// on both endpoints and produce a schema-valid JSON report.
+func TestLoadgenSmoke(t *testing.T) {
+	srv := okServer()
+	defer srv.Close()
+
+	cfg := Config{
+		Stages:    []Stage{{QPS: 200, Duration: 500 * time.Millisecond}},
+		AuditFrac: 0.5,
+		Users:     100,
+		Workers:   16,
+		Seed:      42,
+	}
+	rep, err := Run(context.Background(), cfg, NewHTTPTarget(srv.URL, cfg.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 1 {
+		t.Fatalf("stages %d", len(rep.Stages))
+	}
+	st := rep.Stages[0]
+	if st.Completed == 0 {
+		t.Fatal("no completed requests")
+	}
+	if st.Completed != st.Scheduled {
+		t.Fatalf("completed %d != scheduled %d", st.Completed, st.Scheduled)
+	}
+	for _, kind := range []Kind{KindAudit, KindIngest} {
+		ep, ok := st.Endpoints[kind]
+		if !ok {
+			t.Fatalf("report missing endpoint %q", kind)
+		}
+		if ep.OK == 0 {
+			t.Fatalf("endpoint %q completed nothing: %+v", kind, ep)
+		}
+		if ep.OK != ep.Count {
+			t.Fatalf("endpoint %q: ok %d != count %d", kind, ep.OK, ep.Count)
+		}
+		if ep.P50Ms < 0 || ep.P99Ms < ep.P50Ms || ep.P999Ms < ep.P99Ms {
+			t.Fatalf("endpoint %q: non-monotone quantiles %+v", kind, ep)
+		}
+		if ep.MaxMs < ep.P999Ms {
+			t.Fatalf("endpoint %q: max %v below p999 %v", kind, ep.MaxMs, ep.P999Ms)
+		}
+	}
+	if !st.Sustained {
+		t.Errorf("healthy local run not marked sustained: achieved %.1f of %.1f, errors %.3f",
+			st.AchievedQPS, st.OfferedQPS, st.ErrorRate)
+	}
+	if rep.MaxSustainableQPS != st.OfferedQPS {
+		t.Errorf("max sustainable %v, want %v", rep.MaxSustainableQPS, st.OfferedQPS)
+	}
+
+	// Schema round-trip: the report must marshal and re-parse with the
+	// scoreboard keys intact.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"stages", "max_sustainable_qps", "audit_frac", "seed"} {
+		if _, ok := parsed[key]; !ok {
+			t.Fatalf("report JSON missing %q: %s", key, raw)
+		}
+	}
+	stage0 := parsed["stages"].([]any)[0].(map[string]any)
+	for _, key := range []string{"offered_qps", "achieved_qps", "error_rate", "endpoints", "sustained"} {
+		if _, ok := stage0[key]; !ok {
+			t.Fatalf("stage JSON missing %q: %s", key, raw)
+		}
+	}
+	ep := stage0["endpoints"].(map[string]any)["audit"].(map[string]any)
+	for _, key := range []string{"count", "ok", "shed_429", "p50_ms", "p99_ms", "p999_ms", "achieved_qps", "service_p50_ms"} {
+		if _, ok := ep[key]; !ok {
+			t.Fatalf("endpoint JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+// TestOpMixDeterministic asserts the same seed issues the same op
+// sequence (kinds and uids), and the audit fraction tracks the config.
+func TestOpMixDeterministic(t *testing.T) {
+	mk := func() *Config {
+		c := &Config{AuditFrac: 0.3, Users: 50, Seed: 7}
+		c.defaults()
+		return c
+	}
+	a, b := mk(), mk()
+	audits := 0
+	const n = 4000
+	at := time.Now()
+	for i := uint64(0); i < n; i++ {
+		oa, ob := a.nextOp(i, at), b.nextOp(i, at)
+		if oa.Kind != ob.Kind || oa.UID != ob.UID || oa.Log.Value != ob.Log.Value {
+			t.Fatalf("op %d differs: %+v vs %+v", i, oa, ob)
+		}
+		if oa.Kind == KindAudit {
+			audits++
+			if oa.UID < 1 || int(oa.UID) > a.Users {
+				t.Fatalf("audit uid %d outside [1,%d]", oa.UID, a.Users)
+			}
+		} else if !oa.Log.Type.Valid() {
+			t.Fatalf("ingest op %d has invalid type", i)
+		}
+	}
+	frac := float64(audits) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("audit fraction %.3f, config 0.3", frac)
+	}
+}
+
+// TestCoordinatedOmissionSafety is the acceptance check for open-loop
+// measurement: a server stall must surface in the intended-schedule
+// latency percentiles. The handler blocks every request for the first
+// stallDur of the run; ops scheduled during the stall are recorded
+// against their intended starts, so the latency p90 must carry the
+// stall while the post-stall service times stay small. A closed-loop
+// harness would show a handful of slow requests and a silently
+// stretched schedule instead.
+func TestCoordinatedOmissionSafety(t *testing.T) {
+	const stallDur = 400 * time.Millisecond
+	stallUntil := time.Now().Add(stallDur)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Until(stallUntil); d > 0 {
+			gateOnce.Do(func() {
+				go func() { time.Sleep(d); close(gate) }()
+			})
+			<-gate
+		}
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	cfg := Config{
+		Stages:    []Stage{{QPS: 200, Duration: 800 * time.Millisecond}},
+		AuditFrac: 1, // single endpoint keeps the math simple
+		Users:     10,
+		Workers:   8, // far fewer workers than stalled ops: the queue must not hide them
+		Seed:      1,
+		Timeout:   5 * time.Second,
+	}
+	rep, err := Run(context.Background(), cfg, NewHTTPTarget(srv.URL, cfg.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := rep.Stages[0].Endpoints[KindAudit]
+	if ep.Count == 0 {
+		t.Fatal("nothing completed")
+	}
+	// ~half the schedule fell inside the stall, so p90 of the
+	// intended-start latency must reflect a large fraction of it.
+	minP90 := ms(stallDur / 4)
+	if ep.P99Ms < minP90 {
+		t.Errorf("p99 %.1fms does not reflect a %.0fms stall (want ≥ %.1fms); report: %+v",
+			ep.P99Ms, ms(stallDur), minP90, ep)
+	}
+	// The post-stall requests themselves were fast: median service
+	// time stays far below the stall even though median scheduled
+	// latency carries it.
+	if ep.ServiceP50Ms >= ms(stallDur) {
+		t.Errorf("service p50 %.1fms ≈ stall; expected small post-stall service times", ep.ServiceP50Ms)
+	}
+	if ep.P50Ms <= ep.ServiceP50Ms {
+		t.Errorf("scheduled-latency p50 %.1fms not above service p50 %.1fms — queueing delay missing",
+			ep.P50Ms, ep.ServiceP50Ms)
+	}
+}
+
+// TestRampStopsAfterUnsustained asserts the stepped-ramp search stops
+// at the first failing stage and reports the last passing rate.
+func TestRampStopsAfterUnsustained(t *testing.T) {
+	// Server with a hard concurrency-1 bottleneck of ~25ms per op:
+	// ~40 QPS capacity. The ramp offers 20 then 400 QPS.
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(25 * time.Millisecond)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	cfg := Config{
+		Stages:               []Stage{{QPS: 20, Duration: 400 * time.Millisecond}, {QPS: 400, Duration: 400 * time.Millisecond}, {QPS: 800, Duration: 400 * time.Millisecond}},
+		AuditFrac:            1,
+		Users:                10,
+		Workers:              32,
+		Seed:                 3,
+		Timeout:              10 * time.Second,
+		StopAfterUnsustained: true,
+	}
+	rep, err := Run(context.Background(), cfg, NewHTTPTarget(srv.URL, cfg.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("ran %d stages, want 2 (stop after first unsustained)", len(rep.Stages))
+	}
+	if !rep.Stages[0].Sustained || rep.Stages[1].Sustained {
+		t.Fatalf("sustained flags %v/%v, want true/false",
+			rep.Stages[0].Sustained, rep.Stages[1].Sustained)
+	}
+	if rep.MaxSustainableQPS != 20 {
+		t.Fatalf("max sustainable %v, want 20", rep.MaxSustainableQPS)
+	}
+}
+
+// TestRampStages asserts the ramp builder covers [start, max] in step
+// increments.
+func TestRampStages(t *testing.T) {
+	st := RampStages(100, 100, 400, time.Second)
+	if len(st) != 4 {
+		t.Fatalf("stages %d, want 4", len(st))
+	}
+	if st[0].QPS != 100 || st[3].QPS != 400 {
+		t.Fatalf("ramp %v", st)
+	}
+}
+
+// TestRunCanceled asserts a canceled context ends the run early with
+// the partial report flagged.
+func TestRunCanceled(t *testing.T) {
+	srv := okServer()
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	cfg := Config{
+		Stages:    []Stage{{QPS: 50, Duration: 10 * time.Second}},
+		AuditFrac: 1,
+		Users:     10,
+		Workers:   4,
+		Seed:      9,
+	}
+	rep, err := Run(ctx, cfg, NewHTTPTarget(srv.URL, cfg.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Canceled {
+		t.Fatal("report not flagged canceled")
+	}
+	if rep.Stages[0].Scheduled >= 500 {
+		t.Fatalf("scheduled %d ops in 150ms at 50 QPS", rep.Stages[0].Scheduled)
+	}
+}

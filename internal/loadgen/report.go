@@ -1,0 +1,114 @@
+package loadgen
+
+import "time"
+
+// EndpointReport is one endpoint's scoreboard row within a stage. All
+// latency quantiles are intended-start→response-complete; the service_*
+// fields are request-sent→response-complete, so the gap between the
+// two is exactly the queueing delay a closed-loop harness would hide.
+type EndpointReport struct {
+	Count     int64 `json:"count"`
+	OK        int64 `json:"ok"`
+	Shed429   int64 `json:"shed_429"`
+	NotFound  int64 `json:"not_found_404"`
+	OtherErrs int64 `json:"other_errors"`
+	Transport int64 `json:"transport_errors"`
+
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	ServiceP50Ms float64 `json:"service_p50_ms"`
+	ServiceP99Ms float64 `json:"service_p99_ms"`
+}
+
+// StageReport scores one constant-rate segment.
+type StageReport struct {
+	OfferedQPS  float64 `json:"offered_qps"`
+	DurationS   float64 `json:"duration_s"`
+	Scheduled   int64   `json:"scheduled"`
+	Completed   int64   `json:"completed"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	ErrorRate   float64 `json:"error_rate"`
+	// Sustained reports whether this stage met the sustainability
+	// criteria (achieved/offered and error-rate thresholds).
+	Sustained bool                    `json:"sustained"`
+	Endpoints map[Kind]EndpointReport `json:"endpoints"`
+}
+
+// Report is the BENCH_load.json scoreboard.
+type Report struct {
+	Target    string  `json:"target,omitempty"`
+	AuditFrac float64 `json:"audit_frac"`
+	Users     int     `json:"users"`
+	Workers   int     `json:"workers"`
+	Seed      uint64  `json:"seed"`
+
+	Stages []StageReport `json:"stages"`
+	// MaxSustainableQPS is the highest offered rate among sustained
+	// stages — the stepped-ramp headline figure. 0 when no stage held.
+	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
+	Canceled          bool    `json:"canceled,omitempty"`
+}
+
+// ms converts a duration to float milliseconds for the report.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// endpointReport snapshots one endpoint's stage stats.
+func endpointReport(s *endpointStats, elapsed time.Duration) EndpointReport {
+	lat := s.latency.Snapshot()
+	svc := s.service.Snapshot()
+	r := EndpointReport{
+		Count:     s.count(),
+		OK:        s.ok.Load(),
+		Shed429:   s.shed.Load(),
+		NotFound:  s.notF.Load(),
+		OtherErrs: s.other.Load(),
+		Transport: s.transp.Load(),
+
+		P50Ms:  ms(lat.Quantile(0.50)),
+		P99Ms:  ms(lat.Quantile(0.99)),
+		P999Ms: ms(lat.Quantile(0.999)),
+		MaxMs:  ms(lat.Max()),
+
+		ServiceP50Ms: ms(svc.Quantile(0.50)),
+		ServiceP99Ms: ms(svc.Quantile(0.99)),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.AchievedQPS = float64(r.Count) / sec
+	}
+	return r
+}
+
+// scoreStage folds a stage's raw stats into its report row.
+func scoreStage(cfg *Config, st Stage, elapsed time.Duration, scheduled int, stats map[Kind]*endpointStats) StageReport {
+	sr := StageReport{
+		OfferedQPS: st.QPS,
+		DurationS:  st.Duration.Seconds(),
+		Scheduled:  int64(scheduled),
+		Endpoints:  make(map[Kind]EndpointReport, len(stats)),
+	}
+	var completed, errs int64
+	for kind, s := range stats {
+		if s.count() == 0 && s.latency.Count() == 0 {
+			continue // endpoint absent from the mix
+		}
+		sr.Endpoints[kind] = endpointReport(s, elapsed)
+		completed += s.count()
+		errs += s.errors()
+	}
+	sr.Completed = completed
+	if sec := elapsed.Seconds(); sec > 0 {
+		sr.AchievedQPS = float64(completed) / sec
+	}
+	if completed > 0 {
+		sr.ErrorRate = float64(errs) / float64(completed)
+	}
+	sr.Sustained = completed > 0 &&
+		sr.AchievedQPS >= cfg.SustainedAchievedFrac*st.QPS &&
+		sr.ErrorRate <= cfg.SustainedErrorRate
+	return sr
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPTarget drives a turbo-server over HTTP: audits as GET
+// /predict?uid=, ingests as POST /ingest. Response bodies are drained
+// and discarded so connections return to the pool.
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+// NewHTTPTarget builds a target for base (e.g. http://127.0.0.1:8080)
+// with a connection pool sized for workers concurrent requests.
+func NewHTTPTarget(base string, workers int) *HTTPTarget {
+	if workers < 1 {
+		workers = 1
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        workers,
+		MaxIdleConnsPerHost: workers,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &HTTPTarget{Base: base, Client: &http.Client{Transport: tr}}
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(ctx context.Context, op Op) (int, error) {
+	var req *http.Request
+	var err error
+	switch op.Kind {
+	case KindAudit:
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			t.Base+"/predict?uid="+strconv.FormatUint(uint64(op.UID), 10), nil)
+	case KindIngest:
+		var body []byte
+		body, err = json.Marshal(op.Log)
+		if err == nil {
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+				t.Base+"/ingest", bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+	default:
+		return 0, fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
+	}
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// WaitReady polls base/readyz until it answers 200 or ctx expires —
+// the pre-flight gate before a run.
+func (t *HTTPTarget) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := t.Client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("loadgen: target %s never became ready: %w", t.Base, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}

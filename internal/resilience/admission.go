@@ -38,8 +38,29 @@ func (a *Admission) TryAcquire() bool {
 // Release returns a slot claimed by TryAcquire.
 func (a *Admission) Release() { <-a.sem }
 
-// InFlight returns the number of currently admitted requests.
-func (a *Admission) InFlight() int { return len(a.sem) }
+// InFlight returns the number of currently admitted requests. Nil-safe
+// (0) so gauges can read an unbounded controller.
+func (a *Admission) InFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.sem)
+}
 
-// Cap returns the admission limit.
-func (a *Admission) Cap() int { return cap(a.sem) }
+// Cap returns the admission limit (0 for a nil, unbounded controller).
+func (a *Admission) Cap() int {
+	if a == nil {
+		return 0
+	}
+	return cap(a.sem)
+}
+
+// Occupancy returns the admitted fraction of the cap in [0, 1] — the
+// saturation signal behind the turbo_admission_* gauges. A nil
+// controller (unbounded admission) reports 0.
+func (a *Admission) Occupancy() float64 {
+	if a == nil || cap(a.sem) == 0 {
+		return 0
+	}
+	return float64(len(a.sem)) / float64(cap(a.sem))
+}

@@ -128,6 +128,41 @@ func TestFanoutConcurrentAudits(t *testing.T) {
 	}
 }
 
+// TestFanoutWorkerCount pins the adaptive fan-out policy: FanoutWorkers=0
+// stays sequential below serialFanoutThreshold nodes (the parallel pool
+// is slower than the serial loop there — see BENCH_infer.json), scales
+// to the default pool above it, and explicit settings are honored,
+// clamped to the node count.
+func TestFanoutWorkerCount(t *testing.T) {
+	p := &PredictionServer{}
+
+	for _, n := range []int{1, 2, 8, serialFanoutThreshold - 1} {
+		if got := p.fanoutWorkerCount(n); got != 1 {
+			t.Errorf("adaptive fanoutWorkerCount(%d) = %d, want 1 (serial)", n, got)
+		}
+	}
+	want := defaultFanoutWorkers()
+	if got := p.fanoutWorkerCount(serialFanoutThreshold); got != want {
+		t.Errorf("adaptive fanoutWorkerCount(%d) = %d, want %d", serialFanoutThreshold, got, want)
+	}
+	if got := p.fanoutWorkerCount(10 * serialFanoutThreshold); got != want {
+		t.Errorf("adaptive fanoutWorkerCount(%d) = %d, want %d", 10*serialFanoutThreshold, got, want)
+	}
+
+	p.FanoutWorkers = 4
+	if got := p.fanoutWorkerCount(2); got != 2 {
+		t.Errorf("explicit 4 over 2 nodes = %d, want clamp to 2", got)
+	}
+	if got := p.fanoutWorkerCount(100); got != 4 {
+		t.Errorf("explicit 4 over 100 nodes = %d, want 4", got)
+	}
+
+	p.FanoutWorkers = 1
+	if got := p.fanoutWorkerCount(1000); got != 1 {
+		t.Errorf("explicit 1 = %d, want 1 (forced serial)", got)
+	}
+}
+
 // BenchmarkAuditHotPath measures the full serving path end to end:
 // sample, feature fan-out, batch compile and tape-free scoring.
 func BenchmarkAuditHotPath(b *testing.B) {
@@ -151,7 +186,8 @@ func BenchmarkFeatureFanout(b *testing.B) {
 	at := t0.Add(3 * time.Hour)
 	sg := bnServer.Sample(1)
 	ctx := context.Background()
-	for _, workers := range []int{1, 2, 4} {
+	// workers=0 is the adaptive default (serial at this subgraph size).
+	for _, workers := range []int{0, 1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			pred.FanoutWorkers = workers
 			b.ReportAllocs()

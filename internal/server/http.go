@@ -64,6 +64,11 @@ type API struct {
 	// recovery. The zero value is ready, so embedders that never call
 	// SetReady keep the old behavior.
 	notReady atomic.Bool
+
+	// inFlight counts requests currently inside ServeHTTP, exposed as
+	// turbo_http_inflight_requests — the request-queue depth signal a
+	// load test watches for saturation.
+	inFlight atomic.Int64
 }
 
 // AdminHooks are the operational actions exposed under /admin/*.
@@ -107,6 +112,11 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/admin/sweep", a.handleAdminSweep)
 	a.mux.HandleFunc("/admin/rollback", a.handleAdminRollback)
 	a.mux.HandleFunc("/admin/models", requireGET(a.handleAdminModels))
+	if pred != nil {
+		pred.Tel.RegisterHTTPInflightGauge(func() float64 {
+			return float64(a.inFlight.Load())
+		})
+	}
 	return a
 }
 
@@ -126,7 +136,11 @@ func (a *API) limitBody(w http.ResponseWriter, r *http.Request) {
 func (a *API) SetReady(ready bool) { a.notReady.Store(!ready) }
 
 // ServeHTTP implements http.Handler.
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.inFlight.Add(1)
+	defer a.inFlight.Add(-1)
+	a.mux.ServeHTTP(w, r)
+}
 
 // requireGET rejects every method but GET with 405.
 func requireGET(h http.HandlerFunc) http.HandlerFunc {
@@ -255,7 +269,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves the last n completed audit traces, newest first.
-// n defaults to 20 and is bounded by the ring size.
+// n defaults to 20 and is bounded by the ring size. slow_ms=K keeps
+// only traces whose end-to-end duration is at least K milliseconds
+// (applied after the newest-n cut, so it narrows the same window an
+// unfiltered request would return).
 func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 	tel := a.Pred.Tel
 	if tel == nil || tel.Tracer.Ring() == nil {
@@ -271,8 +288,26 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	var slowMin time.Duration
+	if s := r.URL.Query().Get("slow_ms"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad slow_ms %q: want a non-negative integer", s), http.StatusBadRequest)
+			return
+		}
+		slowMin = time.Duration(v) * time.Millisecond
+	}
 	ring := tel.Tracer.Ring()
 	traces := ring.Last(n) // clamped to ring size; never unbounded
+	if slowMin > 0 {
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.Total() >= slowMin {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
 	writeJSON(w, map[string]any{
 		"ring_size": ring.Size(),
 		"returned":  len(traces),

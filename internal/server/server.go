@@ -67,6 +67,11 @@ type BNServer struct {
 	snapPublished atomic.Int64
 	lastStats     bn.BuildStats
 
+	// watermark is the event-time high-water mark (unix nanos) across
+	// every ingested, replayed or restored log — the numerator of the
+	// turbo_ingest_lag_seconds gauge. 0 until the first event.
+	watermark atomic.Int64
+
 	// journal, when set, write-ahead-logs every ingested event before it
 	// is applied in memory, making the BN state recoverable after a
 	// crash. Install with SetJournal before serving.
@@ -113,6 +118,33 @@ func (s *BNServer) SetTelemetry(tel *Telemetry) {
 			return time.Since(time.Unix(0, ns)).Seconds()
 		},
 		s.g.ShardSkew,
+	)
+	tel.RegisterIngestLagGauges(
+		// Ingest lag: wall clock minus the event-time watermark. 0 before
+		// the first event; clamped at 0 for future-stamped events.
+		func() float64 {
+			ns := s.watermark.Load()
+			if ns == 0 {
+				return 0
+			}
+			if lag := time.Since(time.Unix(0, ns)).Seconds(); lag > 0 {
+				return lag
+			}
+			return 0
+		},
+		// Build lag: event-time distance between the watermark and the
+		// builder's processed-through frontier — how far edge
+		// materialization trails ingestion. 0 before the first event.
+		func() float64 {
+			ns := s.watermark.Load()
+			if ns == 0 {
+				return 0
+			}
+			if lag := time.Unix(0, ns).Sub(s.builder.ProcessedThrough()).Seconds(); lag > 0 {
+				return lag
+			}
+			return 0
+		},
 	)
 }
 
@@ -171,13 +203,51 @@ func (s *BNServer) RegisterTransaction(u behavior.UserID) {
 // applyLog is the in-memory half of Ingest.
 func (s *BNServer) applyLog(l behavior.Log) {
 	s.store.Append(l)
+	s.noteEvent(l.Time)
 	s.tel.IngestedLogs(1)
 }
 
 // applyLogBatch is the in-memory half of IngestBatch.
 func (s *BNServer) applyLogBatch(logs []behavior.Log) {
 	s.store.AppendBatch(logs)
+	s.noteEventBatch(logs)
 	s.tel.IngestedLogs(len(logs))
+}
+
+// noteEvent advances the event-time watermark to t if newer (CAS-max:
+// batches and replays may arrive out of event order).
+func (s *BNServer) noteEvent(t time.Time) {
+	ns := t.UnixNano()
+	for {
+		cur := s.watermark.Load()
+		if ns <= cur || s.watermark.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// noteEventBatch advances the watermark past every log in one CAS-max.
+func (s *BNServer) noteEventBatch(logs []behavior.Log) {
+	var newest time.Time
+	for _, l := range logs {
+		if l.Time.After(newest) {
+			newest = l.Time
+		}
+	}
+	if !newest.IsZero() {
+		s.noteEvent(newest)
+	}
+}
+
+// EventWatermark returns the newest event time seen by ingestion (zero
+// before the first event) — the freshness anchor of the ingest-lag
+// gauge.
+func (s *BNServer) EventWatermark() time.Time {
+	ns := s.watermark.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // applyTxn is the in-memory half of RegisterTransaction.
@@ -239,12 +309,16 @@ func (s *BNServer) RestoreCheckpoint(st *persist.State) error {
 	}
 	s.txnMu.Unlock()
 	s.store.AppendBatch(st.Logs)
+	s.noteEventBatch(st.Logs)
 	return nil
 }
 
 // ReplayLog implements persist.Applier: re-apply one WAL log record
 // without re-journaling it (it is already on disk).
-func (s *BNServer) ReplayLog(l behavior.Log) { s.store.Append(l) }
+func (s *BNServer) ReplayLog(l behavior.Log) {
+	s.store.Append(l)
+	s.noteEvent(l.Time)
+}
 
 // ReplayTxn implements persist.Applier.
 func (s *BNServer) ReplayTxn(u behavior.UserID) { s.applyTxn(u) }
@@ -468,9 +542,11 @@ type PredictionServer struct {
 	// fraud rate). NewPredictionServer sets 0.05.
 	Prior float64
 	// FanoutWorkers bounds the concurrent feature fetches of one audit's
-	// fan-out. 0 selects min(8, GOMAXPROCS); 1 forces the sequential
-	// fan-out. Every fetch keeps its full breaker/retry/deadline
-	// semantics regardless of the setting.
+	// fan-out. 0 is adaptive: sequential below serialFanoutThreshold
+	// nodes (goroutine spawn + synchronization dominates in-process
+	// fetches at typical subgraph sizes), min(8, GOMAXPROCS) workers
+	// above it. 1 forces the sequential fan-out. Every fetch keeps its
+	// full breaker/retry/deadline semantics regardless of the setting.
 	FanoutWorkers int
 
 	// Served counts audits by serving tier, plus "degraded", "shed" and
@@ -532,17 +608,53 @@ func NewPredictionServer(bnServer *BNServer, feats feature.Source, model gnn.Mod
 	tel.RegisterFanoutGauge(func() float64 {
 		return float64(p.fanoutInFlight.Load())
 	})
+	tel.RegisterAdmissionGauges(
+		func() float64 { return float64(p.Admission.InFlight()) },
+		func() float64 {
+			if p.Admission == nil {
+				return -1
+			}
+			return float64(p.Admission.Cap())
+		},
+		func() float64 { return p.Admission.Occupancy() },
+	)
 	return p
 }
 
-// defaultFanoutWorkers is the FanoutWorkers=0 worker count: enough
-// parallelism to hide feature-store latency without letting one audit
-// monopolize the scheduler.
+// defaultFanoutWorkers is the worker count for large adaptive fan-outs:
+// enough parallelism to hide feature-store latency without letting one
+// audit monopolize the scheduler.
 func defaultFanoutWorkers() int {
 	if w := runtime.GOMAXPROCS(0); w < 8 {
 		return w
 	}
 	return 8
+}
+
+// serialFanoutThreshold is the subgraph size below which the adaptive
+// fan-out (FanoutWorkers=0) stays sequential. Against the in-process
+// feature service, the worker pool's spawn/synchronization overhead
+// makes the parallel path ~2× slower than the serial loop at typical
+// subgraph sizes (see BENCH_infer.json); parallelism only pays once a
+// fan-out is large or the per-fetch latency is real network latency
+// (set FanoutWorkers explicitly for the latter).
+const serialFanoutThreshold = 32
+
+// fanoutWorkerCount resolves the worker count for one fan-out over n
+// nodes: an explicit FanoutWorkers is honored (clamped to n), 0 adapts
+// by subgraph size.
+func (p *PredictionServer) fanoutWorkerCount(n int) int {
+	workers := p.FanoutWorkers
+	if workers <= 0 {
+		if n < serialFanoutThreshold {
+			return 1
+		}
+		workers = defaultFanoutWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // SwapModel atomically replaces the serving model and normalizer (the
@@ -752,13 +864,7 @@ func fanoutError(node graph.NodeID, u behavior.UserID, verr error) error {
 // own fail-fast never mask it.
 func (p *PredictionServer) fanoutFeatures(ctx context.Context, feats feature.Source, normalizer func([]float64) []float64, sg *graph.Subgraph, u behavior.UserID, at time.Time) (*tensor.Matrix, error) {
 	n := sg.NumNodes()
-	workers := p.FanoutWorkers
-	if workers <= 0 {
-		workers = defaultFanoutWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers := p.fanoutWorkerCount(n)
 	if workers <= 1 {
 		var x *tensor.Matrix
 		for i, node := range sg.Nodes {

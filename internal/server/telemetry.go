@@ -72,6 +72,17 @@ type TelemetryOptions struct {
 //	turbo_sweep_shard_seconds             per-shard sweep compute-time histogram
 //	turbo_sweep_nodes_total               nodes scored by full-graph sweeps
 //	turbo_sweep_inflight                  full-graph sweeps currently running
+//	turbo_ingest_lag_seconds              wall clock minus the event-time watermark (freshness)
+//	turbo_bn_build_lag_seconds            watermark minus the builder's processed-through frontier
+//	turbo_admission_inflight              audits currently holding an admission slot
+//	turbo_admission_capacity              admission cap (-1 = unbounded)
+//	turbo_admission_occupancy             in-flight fraction of the cap, 0..1
+//	turbo_http_inflight_requests          HTTP requests currently being served
+//	turbo_go_goroutines                   live goroutines (scrape-time runtime collector)
+//	turbo_go_heap_alloc_bytes / _sys / _objects   heap usage
+//	turbo_go_gc_cycles_total              completed GC cycles
+//	turbo_go_gc_pause_seconds             GC stop-the-world pause histogram
+//	turbo_go_sched_latency_p50_seconds    goroutine scheduling latency p50 (+ _p99_)
 type Telemetry struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
@@ -128,6 +139,7 @@ const (
 // resolves the hot-path handles.
 func NewTelemetry(opts TelemetryOptions) *Telemetry {
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
 	t := &Telemetry{Registry: reg}
 
 	t.outcomes = reg.CounterVec("turbo_audit_outcomes_total",
@@ -365,6 +377,47 @@ func (t *Telemetry) RegisterBNGauges(snapshotAge, shardSkew func() float64) {
 		"Seconds since the BN read snapshot was published.", snapshotAge)
 	t.Registry.GaugeFunc("turbo_bn_shard_skew",
 		"Max/mean node count across graph shards (1 = balanced).", shardSkew)
+}
+
+// RegisterIngestLagGauges registers the two saturation lags of the
+// ingest pipeline: turbo_ingest_lag_seconds (wall clock vs the
+// event-time watermark) and turbo_bn_build_lag_seconds (watermark vs
+// the builder's processed-through frontier). Re-registering replaces
+// the callbacks (last stack wins).
+func (t *Telemetry) RegisterIngestLagGauges(ingestLag, buildLag func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_ingest_lag_seconds",
+		"Wall clock minus the newest ingested event time; 0 before the first event.", ingestLag)
+	t.Registry.GaugeFunc("turbo_bn_build_lag_seconds",
+		"Event-time distance between the ingest watermark and the BN builder's processed-through frontier.", buildLag)
+}
+
+// RegisterAdmissionGauges registers the admission-semaphore gauges:
+// in-flight audits, the cap (-1 = unbounded) and the occupancy fraction.
+// Re-registering replaces the callbacks.
+func (t *Telemetry) RegisterAdmissionGauges(inflight, capacity, occupancy func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_admission_inflight",
+		"Audits currently holding an admission slot.", inflight)
+	t.Registry.GaugeFunc("turbo_admission_capacity",
+		"Admission cap on concurrent audits (-1 = unbounded).", capacity)
+	t.Registry.GaugeFunc("turbo_admission_occupancy",
+		"In-flight fraction of the admission cap, 0..1 (0 when unbounded).", occupancy)
+}
+
+// RegisterHTTPInflightGauge registers turbo_http_inflight_requests as a
+// scrape-time gauge reading the HTTP layer's in-flight request counter.
+// Re-registering replaces the callback.
+func (t *Telemetry) RegisterHTTPInflightGauge(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_http_inflight_requests",
+		"HTTP requests currently being served by the API.", fn)
 }
 
 // StartTrace opens an audit trace for user u and attaches it to ctx.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -99,6 +100,23 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE turbo_audit_stage_seconds histogram",
 		"# TYPE turbo_audit_outcomes_total counter",
 		"# TYPE turbo_breaker_state gauge",
+		// Saturation observability: ingest/build lag, admission occupancy
+		// and the HTTP in-flight counter (1 — the /metrics request itself
+		// is in flight while the registry renders).
+		"# TYPE turbo_ingest_lag_seconds gauge",
+		"# TYPE turbo_bn_build_lag_seconds gauge",
+		"turbo_admission_inflight 0",
+		"turbo_admission_capacity -1",
+		"turbo_admission_occupancy 0",
+		"turbo_http_inflight_requests 1",
+		// Scrape-time Go runtime collector.
+		"# TYPE turbo_go_goroutines gauge",
+		"turbo_go_heap_alloc_bytes",
+		"turbo_go_heap_objects",
+		"turbo_go_gc_cycles_total",
+		"# TYPE turbo_go_gc_pause_seconds histogram",
+		"turbo_go_sched_latency_p50_seconds",
+		"turbo_go_sched_latency_p99_seconds",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
@@ -195,6 +213,124 @@ func TestDebugTracesEndpoint(t *testing.T) {
 		resp, _ := get(q)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("GET /debug/traces%s: status %d want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// metricValue extracts a bare (unlabeled) sample value from a
+// Prometheus exposition body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, body)
+	return 0
+}
+
+// TestEventWatermarkAndLagGauges asserts the event-time watermark is a
+// CAS-max over every ingest path and that the two lag gauges derive
+// from it: ingest lag = wall clock − watermark, build lag = watermark −
+// builder frontier, both clamped at 0.
+func TestEventWatermarkAndLagGauges(t *testing.T) {
+	bnServer, _ := newTestStack(t)
+
+	// The seed batch's newest log is at t0+30m.
+	if got, want := bnServer.EventWatermark(), t0.Add(30*time.Minute); !got.Equal(want) {
+		t.Fatalf("watermark after seed batch %v, want %v", got, want)
+	}
+	// A newer ingest advances it; an older one must not regress it.
+	bnServer.Ingest(mk(1, behavior.IPv4, "ip-a", 2*time.Hour))
+	bnServer.Ingest(mk(2, behavior.IPv4, "ip-b", time.Hour))
+	if got, want := bnServer.EventWatermark(), t0.Add(2*time.Hour); !got.Equal(want) {
+		t.Fatalf("watermark %v, want %v (no regression on older events)", got, want)
+	}
+
+	body := scrapeMetrics(t, bnServer.Telemetry())
+	// The test events are dated 2019, so ingest lag is years of seconds.
+	if lag := metricValue(t, body, "turbo_ingest_lag_seconds"); lag < 1e6 {
+		t.Fatalf("ingest lag %v s for 2019-dated events, want huge", lag)
+	}
+	wantBuild := bnServer.EventWatermark().Sub(bnServer.builder.ProcessedThrough()).Seconds()
+	if wantBuild < 0 {
+		wantBuild = 0
+	}
+	if got := metricValue(t, body, "turbo_bn_build_lag_seconds"); got != wantBuild {
+		t.Fatalf("build lag %v, want watermark-frontier %v", got, wantBuild)
+	}
+
+	// Once the builder has advanced past the watermark, build lag clamps
+	// to 0 (the frontier can lead the newest event).
+	bnServer.Advance(t0.Add(100 * time.Hour))
+	body = scrapeMetrics(t, bnServer.Telemetry())
+	if got := metricValue(t, body, "turbo_bn_build_lag_seconds"); got != 0 {
+		t.Fatalf("build lag %v after full catch-up, want 0", got)
+	}
+}
+
+// TestDebugTracesSlowFilter exercises the slow_ms query parameter:
+// filtering semantics, explicit JSON content type, and strict parsing.
+func TestDebugTracesSlowFilter(t *testing.T) {
+	bnServer, pred := newTestStack(t)
+	api := NewAPI(pred, bnServer)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for _, uid := range []string{"1", "2", "3"} {
+		resp, err := http.Get(srv.URL + "/predict?uid=" + uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	get := func(q string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp, nil
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	// slow_ms=0 keeps everything, and the response is explicit JSON.
+	resp, out := get("?slow_ms=0")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	if got := out["returned"].(float64); got != 3 {
+		t.Fatalf("slow_ms=0 returned %v traces, want 3", got)
+	}
+
+	// A threshold far above any in-process audit filters them all out;
+	// the ring size is still reported.
+	_, out = get("?n=3&slow_ms=60000")
+	if got := out["returned"].(float64); got != 0 {
+		t.Fatalf("slow_ms=60000 returned %v traces, want 0", got)
+	}
+	if len(out["traces"].([]any)) != 0 {
+		t.Fatalf("filtered response still carries traces: %v", out["traces"])
+	}
+
+	// Non-integer or negative slow_ms → 400, same contract as n.
+	for _, q := range []string{"?slow_ms=-1", "?slow_ms=abc", "?slow_ms=1.5", "?slow_ms=10ms"} {
+		resp, _ := get(q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /debug/traces%s: status %d, want 400", q, resp.StatusCode)
 		}
 	}
 }

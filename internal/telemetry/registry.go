@@ -18,8 +18,9 @@ import (
 // Registration takes a lock; observations on the returned handles never
 // do.
 type Registry struct {
-	mu   sync.Mutex
-	fams map[string]*family
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func()
 }
 
 // family is one registered metric name.
@@ -157,10 +158,28 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	}).(*HistogramVec)
 }
 
+// OnScrape registers a hook run at the start of every WritePrometheus
+// call, before any family is rendered. Hooks refresh scrape-time state
+// that is too expensive or too racy to keep current continuously (the
+// Go runtime collector drains GC pause samples here). Hooks may call
+// registry methods; they run outside the registry lock.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every registered family in Prometheus text
 // format, sorted by metric name, with stable cell ordering inside each
 // family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {

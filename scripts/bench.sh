@@ -3,9 +3,13 @@
 # audit, WAL-append and recovery-replay benchmarks with allocation
 # reporting and writes a JSON snapshot to BENCH_infer.json (ns/op, B/op,
 # allocs/op per benchmark). Then races the full-graph sweep against the
-# naive score-everyone loop and writes BENCH_sweep.json with the speedup.
+# naive score-everyone loop and writes BENCH_sweep.json with the
+# speedup. Finally boots a tiny turbo-server and drives it with the
+# open-loop load harness, writing the latency scoreboard to
+# BENCH_load.json (p50/p99/p999 per endpoint, offered vs achieved QPS).
 #
-# Usage: scripts/bench.sh [benchtime] [sweep_benchtime]   (default 200x / 5x)
+# Usage: scripts/bench.sh [benchtime] [sweep_benchtime] [load_qps] [load_duration]
+#        (defaults 200x / 5x / 150 / 5s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,3 +69,34 @@ END {
 }' "$SWEEP_RAW" > "$SWEEP_OUT"
 
 echo "wrote $SWEEP_OUT (speedup $(grep '"speedup"' "$SWEEP_OUT" | tr -dc '0-9.')x)"
+
+# --- Open-loop load scoreboard ----------------------------------------------
+LOAD_QPS="${3:-150}"
+LOAD_DUR="${4:-5s}"
+LOAD_OUT="BENCH_load.json"
+LOAD_ADDR="127.0.0.1:18091"
+TMPBIN="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    rm -f "$RAW" "$SWEEP_RAW"
+    rm -rf "$TMPBIN"
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== turbo-loadgen ($LOAD_QPS qps for $LOAD_DUR against a tiny turbo-server on $LOAD_ADDR)"
+go build -o "$TMPBIN/turbo-server" ./cmd/turbo-server
+go build -o "$TMPBIN/turbo-loadgen" ./cmd/turbo-loadgen
+"$TMPBIN/turbo-server" -preset tiny -addr "$LOAD_ADDR" &
+SERVER_PID=$!
+
+# The loadgen waits on /readyz itself (training the tiny model takes a
+# few seconds); the mixed run ingests live events and audits seeded uids.
+"$TMPBIN/turbo-loadgen" -base "http://$LOAD_ADDR" \
+    -qps "$LOAD_QPS" -duration "$LOAD_DUR" -mix.audit 0.5 -seed 42 \
+    -ready-wait 120s -out "$LOAD_OUT"
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "wrote $LOAD_OUT (max sustainable $(grep '"max_sustainable_qps"' "$LOAD_OUT" | tr -dc '0-9.') qps at the offered rate)"

@@ -20,8 +20,14 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring / tape-free infer / persist / full-graph sweep / model lifecycle)"
+echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring + log-bucketed histogram / tape-free infer / persist / full-graph sweep / model lifecycle)"
 go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/... ./internal/sweep/... ./internal/feature/... ./internal/lifecycle/...
+
+echo "== go test -race (open-loop loadgen + streaming datagen; -short skips the 1M-user memory ceiling, which full tier-1 covers)"
+go test -race -short ./internal/loadgen/ ./internal/datagen/
+
+echo "== loadgen smoke (open-loop schedule vs in-process server: deterministic seed, schema-valid scoreboard JSON, coordinated-omission stall injection)"
+go test -race -run 'TestLoadgenSmoke|TestCoordinatedOmissionSafety' ./internal/loadgen/
 
 echo "== sweep-equivalence smoke (sharded layer-at-a-time sweep vs per-node gnn.Score, all models)"
 go test -race -run 'TestSweepMatchesPerNodeScore|TestSweepMatchesBatchScores|TestSweepSnapshotIsolation' ./internal/sweep/
