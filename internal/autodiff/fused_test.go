@@ -1,0 +1,132 @@
+package autodiff
+
+import (
+	"testing"
+
+	"turbo/internal/tensor"
+)
+
+func fusedTestFixture(nRows, nCols, d int, seed uint64) (*CSR, *tensor.Matrix) {
+	rng := tensor.NewRNG(seed)
+	rows := make([][]int, nRows)
+	weights := make([][]float64, nRows)
+	for i := range rows {
+		deg := rng.Intn(6)
+		for k := 0; k < deg; k++ {
+			rows[i] = append(rows[i], rng.Intn(nCols))
+			weights[i] = append(weights[i], rng.NormFloat64())
+		}
+	}
+	h := tensor.New(nCols, d)
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	return NewCSR(nRows, nCols, rows, weights), h
+}
+
+func randW(rng *tensor.RNG, rows, cols int) *tensor.Matrix {
+	w := tensor.New(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestAggTransformFusedBitwise pins the fused aggregate+transform kernel
+// to the unfused pair: materialize A×H, then dense-multiply. Bitwise —
+// the fusion must not change a single rounding.
+func TestAggTransformFusedBitwise(t *testing.T) {
+	// 100 rows crosses several 32-row panels including a ragged tail.
+	c, h := fusedTestFixture(100, 80, 24, 41)
+	rng := tensor.NewRNG(43)
+	w1 := randW(rng, 24, 16)
+	w2 := randW(rng, 24, 8)
+
+	hn := tensor.New(c.NRows, h.Cols)
+	c.MatMulInto(hn, h)
+	want1 := tensor.New(c.NRows, w1.Cols)
+	tensor.MatMulInto(want1, hn, w1)
+	want2 := tensor.New(c.NRows, w2.Cols)
+	tensor.MatMulInto(want2, hn, w2)
+
+	got1 := tensor.New(c.NRows, w1.Cols)
+	c.AggTransformInto(got1, h, w1)
+	for i := range want1.Data {
+		if got1.Data[i] != want1.Data[i] {
+			t.Fatalf("fused element %d differs", i)
+		}
+	}
+
+	got1.Zero()
+	got2 := tensor.New(c.NRows, w2.Cols)
+	c.AggTransform2Into(got1, got2, h, w1, w2)
+	for i := range want1.Data {
+		if got1.Data[i] != want1.Data[i] {
+			t.Fatalf("fused2 first output element %d differs", i)
+		}
+	}
+	for i := range want2.Data {
+		if got2.Data[i] != want2.Data[i] {
+			t.Fatalf("fused2 second output element %d differs", i)
+		}
+	}
+
+	// caller-partitioned ranges must agree with the whole-matrix call
+	gotR := tensor.New(c.NRows, w1.Cols)
+	for lo := 0; lo < c.NRows; lo += 23 {
+		hi := lo + 23
+		if hi > c.NRows {
+			hi = c.NRows
+		}
+		c.AggTransformRangeInto(gotR, h, w1, lo, hi)
+	}
+	for i := range want1.Data {
+		if gotR.Data[i] != want1.Data[i] {
+			t.Fatalf("fused range element %d differs", i)
+		}
+	}
+}
+
+// TestAggTransformSplitFusedBitwise pins the GraphSAGE-shaped fusion:
+// dst = [H | A×H] × W.
+func TestAggTransformSplitFusedBitwise(t *testing.T) {
+	c, h := fusedTestFixture(90, 90, 20, 47)
+	rng := tensor.NewRNG(53)
+	w := randW(rng, 40, 12)
+
+	hn := tensor.New(c.NRows, h.Cols)
+	c.MatMulInto(hn, h)
+	want := tensor.New(c.NRows, w.Cols)
+	tensor.MatMulSplitInto(want, h, hn, w)
+
+	got := tensor.New(c.NRows, w.Cols)
+	c.AggTransformSplitInto(got, h, w)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("fused split element %d differs", i)
+		}
+	}
+}
+
+func BenchmarkFusedAggTransform(b *testing.B) {
+	c, h := fusedTestFixture(2048, 2048, 64, 61)
+	rng := tensor.NewRNG(67)
+	w := randW(rng, 64, 32)
+	dst := tensor.New(c.NRows, w.Cols)
+	hn := tensor.New(c.NRows, h.Cols)
+
+	b.Run("unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hn.Zero()
+			c.MatMulInto(hn, h)
+			dst.Zero()
+			tensor.MatMulInto(dst, hn, w)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst.Zero()
+			c.AggTransformInto(dst, h, w)
+		}
+	})
+}

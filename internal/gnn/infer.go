@@ -131,6 +131,16 @@ func (f *Fwd) Linear(l *nn.Linear, x *tensor.Matrix) *tensor.Matrix {
 	return f.MatMul(x, l.W.Value).AddRowVectorInPlace(l.B.Value)
 }
 
+// AggregateLinear computes l(A × h) with the fused aggregate+transform
+// kernel: the aggregation is materialized only panel-by-panel inside
+// the CSR kernel instead of as a full n×d scratch matrix. Bitwise equal
+// to f.Linear(l, f.Aggregate(a, h)).
+func (f *Fwd) AggregateLinear(l *nn.Linear, a *autodiff.CSR, h *tensor.Matrix) *tensor.Matrix {
+	out := f.Get(a.NRows, l.W.Value.Cols)
+	a.AggTransformInto(out, h, l.W.Value)
+	return out.AddRowVectorInPlace(l.B.Value)
+}
+
 // MLP runs an MLP forward into scratch, mirroring nn.MLP.Forward.
 func (f *Fwd) MLP(m *nn.MLP, x *tensor.Matrix) *tensor.Matrix {
 	h := x
@@ -196,7 +206,7 @@ func (m *GCN) Infer(f *Fwd, b *Batch) *tensor.Matrix {
 	adj := b.MergedRWCSR()
 	h := b.X
 	for _, l := range m.layers {
-		h = tensor.ReLUInPlace(f.Linear(l, f.Aggregate(adj, h)))
+		h = tensor.ReLUInPlace(f.AggregateLinear(l, adj, h))
 	}
 	return f.MLP(m.head, h)
 }
@@ -209,7 +219,7 @@ func (m *GCN) InferTarget(f *Fwd, b *Batch, node int) float64 {
 	h := b.X
 	last := len(m.layers) - 1
 	for _, l := range m.layers[:last] {
-		h = tensor.ReLUInPlace(f.Linear(l, f.Aggregate(adj, h)))
+		h = tensor.ReLUInPlace(f.AggregateLinear(l, adj, h))
 	}
 	row := tensor.ReLUInPlace(f.Linear(m.layers[last], f.AggregateRow(adj, h, node)))
 	return f.MLP(m.head, row).Data[0]
@@ -224,9 +234,8 @@ func (m *GraphSAGE) Infer(f *Fwd, b *Batch) *tensor.Matrix {
 	adj := b.MergedMeanCSR()
 	h := b.X
 	for _, l := range m.layers {
-		hn := f.Aggregate(adj, h)
 		out := f.Get(h.Rows, l.W.Value.Cols)
-		tensor.MatMulSplitInto(out, h, hn, l.W.Value)
+		adj.AggTransformSplitInto(out, h, l.W.Value)
 		h = tensor.ReLUInPlace(out.AddRowVectorInPlace(l.B.Value))
 	}
 	return f.MLP(m.head, h)

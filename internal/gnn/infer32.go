@@ -1,0 +1,399 @@
+package gnn
+
+import (
+	"math"
+	"sync"
+
+	"turbo/internal/nn"
+	"turbo/internal/tensor"
+)
+
+// infer32.go is the opt-in float32 serving path. It mirrors infer.go
+// kernel for kernel on quantized weights (nn.Parameter.Value32) and
+// quantized batch structures (Batch.X32 / CSR32For), with a different
+// contract: float64 Infer stays the bitwise reference, Infer32 is
+// tolerance-equivalent. ValidateF32 measures the per-node logit gap so
+// callers (the prediction server) can gate the fast path on an explicit
+// bound and fall back to float64 when a model quantizes badly.
+
+// Inferer32 is a Model with a float32 tape-free forward. The returned
+// logits matrix is Fwd32 scratch.
+type Inferer32 interface {
+	Infer32(f *Fwd32, b *Batch) *tensor.Matrix32
+}
+
+// TargetInferer32 is an Inferer32 that can compute a single node's
+// logit without materializing every node's.
+type TargetInferer32 interface {
+	Inferer32
+	InferTarget32(f *Fwd32, b *Batch, node int) float32
+}
+
+// CanInfer32 reports whether m supports the float32 serving path.
+func CanInfer32(m Model) bool {
+	_, ok := m.(Inferer32)
+	return ok
+}
+
+// Fwd32 is the float32 analog of Fwd: a single-goroutine scratch arena
+// whose matrices stay warm across Acquire/Release cycles.
+type Fwd32 struct {
+	mats []*tensor.Matrix32
+	used int
+}
+
+var fwd32Pool = sync.Pool{New: func() any { return new(Fwd32) }}
+
+// AcquireFwd32 returns a float32 forward context from the pool.
+func AcquireFwd32() *Fwd32 { return fwd32Pool.Get().(*Fwd32) }
+
+// ReleaseFwd32 recycles the context; all matrices obtained from it are
+// invalid afterwards.
+func ReleaseFwd32(f *Fwd32) {
+	if len(f.mats) > maxFwdMats {
+		for i := maxFwdMats; i < len(f.mats); i++ {
+			tensor.PutMatrix32(f.mats[i])
+			f.mats[i] = nil
+		}
+		f.mats = f.mats[:maxFwdMats]
+	}
+	f.used = 0
+	fwd32Pool.Put(f)
+}
+
+// Get returns a zeroed rows×cols scratch matrix owned by f.
+func (f *Fwd32) Get(rows, cols int) *tensor.Matrix32 {
+	if f.used < len(f.mats) {
+		m := f.mats[f.used]
+		if m.Rows == rows && m.Cols == cols {
+			f.used++
+			m.Zero()
+			return m
+		}
+		tensor.PutMatrix32(m)
+		m = tensor.GetMatrix32(rows, cols)
+		f.mats[f.used] = m
+		f.used++
+		return m
+	}
+	m := tensor.GetMatrix32(rows, cols)
+	f.mats = append(f.mats, m)
+	f.used++
+	return m
+}
+
+// MatMul computes a × b into scratch.
+func (f *Fwd32) MatMul(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	out := f.Get(a.Rows, b.Cols)
+	tensor.MatMul32Into(out, a, b)
+	return out
+}
+
+// Linear applies y = xW + b on the quantized layer weights.
+func (f *Fwd32) Linear(l *nn.Linear, x *tensor.Matrix32) *tensor.Matrix32 {
+	return f.MatMul(x, l.W.Value32()).AddRowVectorInPlace(l.B.Value32())
+}
+
+// MLP runs the classification head on quantized weights.
+func (f *Fwd32) MLP(m *nn.MLP, x *tensor.Matrix32) *tensor.Matrix32 {
+	h := x
+	for i, l := range m.Layers {
+		h = f.Linear(l, h)
+		if i+1 < len(m.Layers) {
+			h = m.Hidden.Apply32InPlace(h)
+		}
+	}
+	return h
+}
+
+// ConcatCols writes [a ; b] side by side into scratch.
+func (f *Fwd32) ConcatCols(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	out := f.Get(a.Rows, a.Cols+b.Cols)
+	tensor.ConcatCols32Into(out, a, b)
+	return out
+}
+
+// Aggregate computes A × h into scratch.
+func (f *Fwd32) Aggregate(a *tensor.CSR32, h *tensor.Matrix32) *tensor.Matrix32 {
+	out := f.Get(a.NRows, h.Cols)
+	a.MatMulInto(out, h)
+	return out
+}
+
+// AggregateRow computes row i of A × h into 1×cols scratch.
+func (f *Fwd32) AggregateRow(a *tensor.CSR32, h *tensor.Matrix32, i int) *tensor.Matrix32 {
+	out := f.Get(1, h.Cols)
+	a.MatMulRowInto(out, h, i)
+	return out
+}
+
+func abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+}
+
+// maxAbs32 returns max_i |v[i]| (0 for an empty slice).
+func maxAbs32(v []float32) float32 {
+	var m float32
+	for _, x := range v {
+		if a := abs32(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// edgeSoftmax computes GAT attention weights directly in
+// scatter-position order: for positions p ∈ [rowPtr[i], rowPtr[i+1])
+// the destination is node i and the source is nodeCol[p], so the
+// LeakyReLU scores, the per-destination softmax and the α-weighted
+// aggregation all run on contiguous ranges with no edge-id indirection,
+// and the exponentials go through one vectorized Exp32InPlace pass over
+// every edge. ss is the n×2 [src‖dst] score projection of wh.
+//
+// Softmax is shift-invariant, so when max|sSrc|+max|sDst| bounds every
+// score safely inside exp's float32 range (a per-node check over n
+// values instead of per-edge max tracking over every edge), the score
+// loop skips the shift entirely and applies LeakyReLU branchlessly as
+// 0.6·s + 0.4·|s| (= s for s ≥ 0, 0.2·s for s < 0, to rounding).
+// Otherwise it falls back to the classic per-segment max subtraction.
+//
+// The scores live interleaved inside the augmented head matmul output
+// whx (see GAT.Infer32): node i's [src, dst] pair sits at columns
+// [off, off+1] of row i, so sSrc(i) = d[i*ld+off], sDst(i) =
+// d[i*ld+off+1] with ld = whx.Cols.
+func (f *Fwd32) edgeSoftmax(whx *tensor.Matrix32, scoreOff int, rowPtr []int, nodeCol []int32) *tensor.Matrix32 {
+	n := len(rowPtr) - 1
+	w := f.Get(rowPtr[n], 1)
+	ssd := whx.Data
+	ld := whx.Cols
+	var mxS, mxD float32
+	for i := 0; i < n; i++ {
+		if a := abs32(ssd[i*ld+scoreOff]); a > mxS {
+			mxS = a
+		}
+		if a := abs32(ssd[i*ld+scoreOff+1]); a > mxD {
+			mxD = a
+		}
+	}
+	if mxS+mxD <= 60 {
+		for i := 0; i < n; i++ {
+			seg := w.Data[rowPtr[i]:rowPtr[i+1]]
+			cols := nodeCol[rowPtr[i]:rowPtr[i+1]]
+			sd := ssd[i*ld+scoreOff+1]
+			for j, c := range cols {
+				s := ssd[int(c)*ld+scoreOff] + sd
+				seg[j] = 0.6*s + 0.4*abs32(s)
+			}
+		}
+	} else {
+		negInf := float32(math.Inf(-1))
+		for i := 0; i < n; i++ {
+			seg := w.Data[rowPtr[i]:rowPtr[i+1]]
+			cols := nodeCol[rowPtr[i]:rowPtr[i+1]]
+			sd := ssd[i*ld+scoreOff+1]
+			mx := negInf
+			for j, c := range cols {
+				s := ssd[int(c)*ld+scoreOff] + sd
+				if s <= 0 {
+					s *= 0.2 // LeakyReLU, same slope as the float64 path
+				}
+				seg[j] = s
+				if s > mx {
+					mx = s
+				}
+			}
+			for j := range seg {
+				seg[j] -= mx
+			}
+		}
+	}
+	tensor.Exp32InPlace(w.Data)
+	for i := 0; i < n; i++ {
+		seg := w.Data[rowPtr[i]:rowPtr[i+1]]
+		var sum float32
+		for _, v := range seg {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range seg {
+			seg[j] *= inv
+		}
+	}
+	return w
+}
+
+// --- model Infer32 implementations -----------------------------------------
+
+// Infer32 implements Inferer32 for GCN.
+func (m *GCN) Infer32(f *Fwd32, b *Batch) *tensor.Matrix32 {
+	adj := b.CSR32For(b.MergedRWCSR())
+	h := b.X32()
+	for _, l := range m.layers {
+		h = tensor.ReLU32InPlace(f.Linear(l, f.Aggregate(adj, h)))
+	}
+	return f.MLP(m.head, h)
+}
+
+// InferTarget32 implements TargetInferer32 for GCN: hidden layers run in
+// full, the last graph layer and the head on the target row alone.
+func (m *GCN) InferTarget32(f *Fwd32, b *Batch, node int) float32 {
+	adj := b.CSR32For(b.MergedRWCSR())
+	h := b.X32()
+	last := len(m.layers) - 1
+	for _, l := range m.layers[:last] {
+		h = tensor.ReLU32InPlace(f.Linear(l, f.Aggregate(adj, h)))
+	}
+	row := tensor.ReLU32InPlace(f.Linear(m.layers[last], f.AggregateRow(adj, h, node)))
+	return f.MLP(m.head, row).Data[0]
+}
+
+// Infer32 implements Inferer32 for GraphSAGE via the split matmul.
+func (m *GraphSAGE) Infer32(f *Fwd32, b *Batch) *tensor.Matrix32 {
+	adj := b.CSR32For(b.MergedMeanCSR())
+	h := b.X32()
+	for _, l := range m.layers {
+		hn := f.Aggregate(adj, h)
+		out := f.Get(h.Rows, l.W.Value.Cols)
+		tensor.MatMul32SplitInto(out, h, hn, l.W.Value32())
+		h = tensor.ReLU32InPlace(out.AddRowVectorInPlace(l.B.Value32()))
+	}
+	return f.MLP(m.head, h)
+}
+
+// InferTarget32 implements TargetInferer32 for GraphSAGE: hidden layers
+// in full, final layer and head on the target row.
+func (m *GraphSAGE) InferTarget32(f *Fwd32, b *Batch, node int) float32 {
+	adj := b.CSR32For(b.MergedMeanCSR())
+	h := b.X32()
+	last := len(m.layers) - 1
+	for _, l := range m.layers[:last] {
+		hn := f.Aggregate(adj, h)
+		out := f.Get(h.Rows, l.W.Value.Cols)
+		tensor.MatMul32SplitInto(out, h, hn, l.W.Value32())
+		h = tensor.ReLU32InPlace(out.AddRowVectorInPlace(l.B.Value32()))
+	}
+	l := m.layers[last]
+	hn := f.AggregateRow(adj, h, node)
+	out := f.Get(1, l.W.Value.Cols)
+	tensor.MatMul32SplitInto(out, h.RowView(node), hn, l.W.Value32())
+	row := tensor.ReLU32InPlace(out.AddRowVectorInPlace(l.B.Value32()))
+	return f.MLP(m.head, row).Data[0]
+}
+
+// Infer32 implements Inferer32 for GAT with the same two algebraic
+// shortcuts as the float64 Infer (node-level score projections, a
+// weighted sparse matmul for the aggregation).
+func (m *GAT) Infer32(f *Fwd32, b *Batch) *tensor.Matrix32 {
+	st := b.gatStruct()
+	nodeCol := b.gatNodeCol32(st)
+	h := b.X32()
+	n := b.NumNodes
+	for _, layer := range m.layers {
+		outCols := 0
+		for _, hd := range layer.heads {
+			outCols += hd.w.Value.Cols
+		}
+		outs := f.Get(n, outCols)
+		off := 0
+		for _, hd := range layer.heads {
+			// Fold the attention projections into the head matmul: since
+			// ss = (h×W)×att = h×(W×att), augmenting W with the two tiny
+			// columns W·attSrc and W·attDst makes one matmul produce the
+			// transformed features AND both score columns — no separate
+			// n×2 projection pass. Under the vector kernels the operand is
+			// zero-padded to a full 8-column tile so the whole product
+			// stays on the FMA path (the pad columns are never read).
+			wv := hd.w.Value32()
+			aS, aD := hd.attSrc.Value32(), hd.attDst.Value32()
+			kin, width := wv.Rows, wv.Cols
+			naug := width + 2
+			if tensor.SIMDEnabled() {
+				naug = (naug + 7) &^ 7
+			}
+			waug := f.Get(kin, naug)
+			for r := 0; r < kin; r++ {
+				row := waug.Data[r*naug : r*naug+naug]
+				wrow := wv.Data[r*width : (r+1)*width]
+				copy(row, wrow)
+				var s, d float32
+				for j, x := range wrow {
+					s += x * aS.Data[j]
+					d += x * aD.Data[j]
+				}
+				row[width] = s
+				row[width+1] = d
+			}
+			whx := f.MatMul(h, waug)
+			w := f.edgeSoftmax(whx, width, st.scatter.RowPtr, nodeCol)
+			adj := tensor.CSR32{NRows: n, NCols: n, RowPtr: st.scatter.RowPtr, ColIdx: nodeCol, Weights: w.Data}
+			adj.MatMulColsInto(outs, off, whx, width)
+			off += width
+		}
+		h = tensor.ReLU32InPlace(outs)
+	}
+	return f.MLP(m.head, h)
+}
+
+// --- scoring and validation -------------------------------------------------
+
+// Score32 scores node 0 of the batch through the float32 path, and
+// reports false when the model does not implement it. The final
+// logit→probability sigmoid stays in float64, matching every other
+// scoring path.
+func Score32(m Model, b *Batch) (float64, bool) {
+	if ti, ok := m.(TargetInferer32); ok {
+		f := AcquireFwd32()
+		s := tensor.SigmoidScalar(float64(ti.InferTarget32(f, b, 0)))
+		ReleaseFwd32(f)
+		return s, true
+	}
+	if inf, ok := m.(Inferer32); ok {
+		f := AcquireFwd32()
+		s := tensor.SigmoidScalar(float64(inf.Infer32(f, b).Data[0]))
+		ReleaseFwd32(f)
+		return s, true
+	}
+	return 0, false
+}
+
+// Scores32Into scores every node of the batch through the float32 path.
+func Scores32Into(out []float64, m Model, b *Batch) bool {
+	inf, ok := m.(Inferer32)
+	if !ok {
+		return false
+	}
+	f := AcquireFwd32()
+	defer ReleaseFwd32(f)
+	logits := inf.Infer32(f, b)
+	for i := range out[:b.NumNodes] {
+		out[i] = tensor.SigmoidScalar(float64(logits.Data[i]))
+	}
+	return true
+}
+
+// ValidateF32 compares the float32 logits against the float64 reference
+// on every node of b and reports the largest absolute gap. ok is false
+// when the model lacks either path or the gap exceeds tol — the caller
+// must then serve float64.
+func ValidateF32(m Model, b *Batch, tol float64) (maxDelta float64, ok bool) {
+	inf, ok64 := m.(Inferer)
+	inf32, ok32 := m.(Inferer32)
+	if !ok64 || !ok32 {
+		return 0, false
+	}
+	f := AcquireFwd()
+	defer ReleaseFwd(f)
+	want := inf.Infer(f, b)
+	f2 := AcquireFwd32()
+	defer ReleaseFwd32(f2)
+	got := inf32.Infer32(f2, b)
+	for i := 0; i < b.NumNodes; i++ {
+		if d := math.Abs(want.Data[i] - float64(got.Data[i])); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta, maxDelta <= tol
+}

@@ -174,17 +174,15 @@ func (m *GCN) BuildSweep(b *Batch) *SweepProgram {
 	h := b.X
 	for li, l := range m.layers {
 		in, l := h, l
-		agg := p.Alloc(b.NumNodes, in.Cols)
 		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
 		p.Step(fmt.Sprintf("gcn.l%d", li), func(f *Fwd, lo, hi int) {
-			ClearRows(agg, lo, hi)
-			adj.MatMulRangeInto(agg, in, lo, hi)
 			ClearRows(out, lo, hi)
-			tensor.MatMulRangeInto(out, agg, l.W.Value, lo, hi)
+			// Fused aggregate+transform: the A×h panel never leaves cache,
+			// and the full-graph agg buffer disappears from the program.
+			adj.AggTransformRangeInto(out, in, l.W.Value, lo, hi)
 			ov := out.RowsView(lo, hi)
 			tensor.ReLUInPlace(ov.AddRowVectorInPlace(l.B.Value))
 		})
-		p.Retire(agg)
 		if in != b.X {
 			p.Retire(in)
 		}
@@ -202,17 +200,13 @@ func (m *GraphSAGE) BuildSweep(b *Batch) *SweepProgram {
 	h := b.X
 	for li, l := range m.layers {
 		in, l := h, l
-		agg := p.Alloc(b.NumNodes, in.Cols)
 		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
 		p.Step(fmt.Sprintf("sage.l%d", li), func(f *Fwd, lo, hi int) {
-			ClearRows(agg, lo, hi)
-			adj.MatMulRangeInto(agg, in, lo, hi)
 			ClearRows(out, lo, hi)
-			tensor.MatMulSplitRangeInto(out, in, agg, l.W.Value, lo, hi)
+			adj.AggTransformSplitRangeInto(out, in, l.W.Value, lo, hi)
 			ov := out.RowsView(lo, hi)
 			tensor.ReLUInPlace(ov.AddRowVectorInPlace(l.B.Value))
 		})
-		p.Retire(agg)
 		if in != b.X {
 			p.Retire(in)
 		}

@@ -1,6 +1,7 @@
 package hag
 
 import (
+	"turbo/internal/autodiff"
 	"turbo/internal/gnn"
 	"turbo/internal/tensor"
 )
@@ -22,6 +23,29 @@ func (l *saoLayer) infer(f *gnn.Fwd, h, hN *tensor.Matrix, gated bool) *tensor.M
 	}
 	wsH := f.MatMul(h, l.ws.Value)  // W_s h_v
 	wnN := f.MatMul(hN, l.wn.Value) // W_n h_N
+	return l.gateCombine(f, selfT, neighT, wsH, wnN)
+}
+
+// inferFused is the full-graph form of infer: the two transforms of the
+// neighbor aggregate (W_ln and, gated, W_n) run through the fused CSR
+// aggregate+transform kernel, so h_N is only ever materialized
+// panel-by-panel. Bitwise equal to infer(f, h, f.Aggregate(adj, h), …).
+func (l *saoLayer) inferFused(f *gnn.Fwd, h *tensor.Matrix, adj *autodiff.CSR, gated bool) *tensor.Matrix {
+	selfT := f.MatMul(h, l.wls.Value)
+	neighT := f.Get(adj.NRows, l.wln.Value.Cols)
+	if !gated {
+		adj.AggTransformInto(neighT, h, l.wln.Value)
+		return tensor.ReLUInPlace(selfT.AddInPlace(neighT))
+	}
+	wsH := f.MatMul(h, l.ws.Value)
+	wnN := f.Get(adj.NRows, l.wn.Value.Cols)
+	adj.AggTransform2Into(neighT, wnN, h, l.wln.Value, l.wn.Value)
+	return l.gateCombine(f, selfT, neighT, wsH, wnN)
+}
+
+// gateCombine runs Eq. 7–9 and the gated Eq. 5 combine, consuming all
+// four projections as scratch.
+func (l *saoLayer) gateCombine(f *gnn.Fwd, selfT, neighT, wsH, wnN *tensor.Matrix) *tensor.Matrix {
 	// Eq. 7–8: attention scores against the self projection. The tape
 	// computes tanh over materialized 2d-wide concatenations; tanh is
 	// elementwise, so tanh-ing each half once and running the split
@@ -29,9 +53,9 @@ func (l *saoLayer) infer(f *gnn.Fwd, h, hN *tensor.Matrix, gated bool) *tensor.M
 	// evaluations and no concat copies.
 	tS := tensor.TanhInPlace(wsH) // tanh(W_s h_v), shared by both scores
 	tN := tensor.TanhInPlace(wnN)
-	aSelf := f.Get(h.Rows, 1)
+	aSelf := f.Get(selfT.Rows, 1)
 	tensor.MatMulSplitInto(aSelf, tS, tS, l.p.Value)
-	aNeigh := f.Get(h.Rows, 1)
+	aNeigh := f.Get(selfT.Rows, 1)
 	tensor.MatMulSplitInto(aNeigh, tN, tS, l.p.Value)
 	// Eq. 9: per-node softmax over the two scores.
 	alpha := tensor.SoftmaxRowsInPlace(f.ConcatCols(aSelf, aNeigh))
@@ -63,7 +87,7 @@ func (m *HAG) inferEmbed(f *gnn.Fwd, b *gnn.Batch) *tensor.Matrix {
 		h := b.X
 		adj := b.MergedWeightedMeanCSR()
 		for _, l := range m.streams[0] {
-			h = l.infer(f, h, f.Aggregate(adj, h), gated)
+			h = l.inferFused(f, h, adj, gated)
 		}
 		return h
 	}
@@ -75,7 +99,7 @@ func (m *HAG) inferEmbed(f *gnn.Fwd, b *gnn.Batch) *tensor.Matrix {
 		h := b.X
 		adj := b.TypedMeanCSR(r)
 		for _, l := range m.streams[r] {
-			h = l.infer(f, h, f.Aggregate(adj, h), gated)
+			h = l.inferFused(f, h, adj, gated)
 		}
 		typeEmb[r] = h
 		// Eq. 12 (micro level): score_{v,r} = v_rᵀ tanh(W_r h_{v,r}).
@@ -119,7 +143,7 @@ func (m *HAG) InferTarget(f *gnn.Fwd, b *gnn.Batch, node int) float64 {
 		adj := b.MergedWeightedMeanCSR()
 		ls := m.streams[0]
 		for _, l := range ls[:len(ls)-1] {
-			h = l.infer(f, h, f.Aggregate(adj, h), gated)
+			h = l.inferFused(f, h, adj, gated)
 		}
 		l := ls[len(ls)-1]
 		row := l.infer(f, h.RowView(node), f.AggregateRow(adj, h, node), gated)
@@ -133,7 +157,7 @@ func (m *HAG) InferTarget(f *gnn.Fwd, b *gnn.Batch, node int) float64 {
 		adj := b.TypedMeanCSR(r)
 		ls := m.streams[r]
 		for _, l := range ls[:len(ls)-1] {
-			h = l.infer(f, h, f.Aggregate(adj, h), gated)
+			h = l.inferFused(f, h, adj, gated)
 		}
 		l := ls[len(ls)-1]
 		row := l.infer(f, h.RowView(node), f.AggregateRow(adj, h, node), gated)

@@ -22,19 +22,20 @@ import (
 // doubles as the selfT accumulator and becomes the layer's output, as
 // in saoLayer.infer.
 type saoScratch struct {
-	hN, out, neighT    *tensor.Matrix
+	out, neighT        *tensor.Matrix
 	tS, tN, aS, aN, al *tensor.Matrix // gated form only
 }
 
-// sweepRange runs saoLayer.infer's per-row arithmetic on rows [lo, hi):
-// identical kernel sequence (self/neighbor transforms, tanh-ed split
-// attention matmuls, row softmax, gated add, ReLU), restricted to the
-// range via the bitwise-equal range kernels.
+// sweepRange runs saoLayer.inferFused's per-row arithmetic on rows
+// [lo, hi): identical kernel sequence (self transform, fused
+// aggregate+transform of the neighbor mean, tanh-ed split attention
+// matmuls, row softmax, gated add, ReLU), restricted to the range via
+// the bitwise-equal range kernels. The caller has already filled
+// s.neighT (and s.tN when gated) via the fused CSR kernel, so the
+// full-graph h_N buffer no longer exists.
 func (l *saoLayer) sweepRange(s *saoScratch, in *tensor.Matrix, gated bool, lo, hi int) {
 	gnn.ClearRows(s.out, lo, hi)
 	tensor.MatMulRangeInto(s.out, in, l.wls.Value, lo, hi) // H·W_ls
-	gnn.ClearRows(s.neighT, lo, hi)
-	tensor.MatMulRangeInto(s.neighT, s.hN, l.wln.Value, lo, hi) // h_N·W_ln
 	ov := s.out.RowsView(lo, hi)
 	nv := s.neighT.RowsView(lo, hi)
 	if !gated {
@@ -44,8 +45,6 @@ func (l *saoLayer) sweepRange(s *saoScratch, in *tensor.Matrix, gated bool, lo, 
 	gnn.ClearRows(s.tS, lo, hi)
 	tensor.MatMulRangeInto(s.tS, in, l.ws.Value, lo, hi)
 	tensor.TanhInPlace(s.tS.RowsView(lo, hi))
-	gnn.ClearRows(s.tN, lo, hi)
-	tensor.MatMulRangeInto(s.tN, s.hN, l.wn.Value, lo, hi)
 	tensor.TanhInPlace(s.tN.RowsView(lo, hi))
 	gnn.ClearRows(s.aS, lo, hi)
 	tensor.MatMulSplitRangeInto(s.aS, s.tS, s.tS, l.p.Value, lo, hi)
@@ -68,7 +67,6 @@ func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack 
 	for li, l := range stack {
 		in, l := h, l
 		sc := &saoScratch{
-			hN:     p.Alloc(n, in.Cols),
 			out:    p.Alloc(n, l.out),
 			neighT: p.Alloc(n, l.out),
 		}
@@ -81,11 +79,16 @@ func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack 
 			sc.al = p.Alloc(n, 2)
 		}
 		p.Step(fmt.Sprintf("%s.l%d", name, li), func(f *gnn.Fwd, lo, hi int) {
-			gnn.ClearRows(sc.hN, lo, hi)
-			adj.MatMulRangeInto(sc.hN, in, lo, hi)
+			gnn.ClearRows(sc.neighT, lo, hi)
+			if gated {
+				gnn.ClearRows(sc.tN, lo, hi)
+				adj.AggTransform2RangeInto(sc.neighT, sc.tN, in, l.wln.Value, l.wn.Value, lo, hi)
+			} else {
+				adj.AggTransformRangeInto(sc.neighT, in, l.wln.Value, lo, hi)
+			}
 			l.sweepRange(sc, in, gated, lo, hi)
 		})
-		p.Retire(sc.hN, sc.neighT)
+		p.Retire(sc.neighT)
 		if gated {
 			p.Retire(sc.tS, sc.tN, sc.aS, sc.aN, sc.al)
 		}

@@ -1,0 +1,77 @@
+package persist
+
+import (
+	"testing"
+
+	"turbo/internal/gnn"
+	"turbo/internal/hag"
+	"turbo/internal/tensor"
+)
+
+// TestModelStoreF32Roundtrip pins the artifact-time quantization: the
+// f32 weights a loaded model serves (Parameter.Value32) are bitwise the
+// float32 casts of the saved float64 weights, for every model kind.
+func TestModelStoreF32Roundtrip(t *testing.T) {
+	dir := t.TempDir()
+	store := newTestStore(t, dir)
+	cfg := gnn.Config{InDim: 4, Hidden: []int{6, 4}, MLPHidden: 3, Seed: 9}
+	models := []gnn.Model{
+		gnn.NewGCN(cfg),
+		gnn.NewGraphSAGE(cfg),
+		gnn.NewGAT(cfg),
+		hag.New(hag.Config{InDim: 4, NumEdgeTypes: 2, Hidden: []int{6, 4}, AttHidden: 3, Seed: 9}),
+	}
+	for _, m := range models {
+		want := make(map[string]*tensor.Matrix32)
+		for _, p := range m.Parameters() {
+			want[p.Name] = tensor.Quantize(p.Value)
+		}
+		if _, err := store.Save(m, Extras{}); err != nil {
+			t.Fatalf("%T save: %v", m, err)
+		}
+		lm, err := store.LoadLatest()
+		if err != nil {
+			t.Fatalf("%T load: %v", m, err)
+		}
+		for _, p := range lm.Model.Parameters() {
+			w, ok := want[p.Name]
+			if !ok {
+				t.Fatalf("%T: unexpected parameter %s", m, p.Name)
+			}
+			got := p.Value32()
+			for i := range w.Data {
+				if got.Data[i] != w.Data[i] {
+					t.Fatalf("%T %s[%d]: loaded f32 %v != quantized original %v", m, p.Name, i, got.Data[i], w.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestModelStoreF32ScoresMatch pins end-to-end serving equivalence: a
+// saved-and-reloaded model's f32 scores equal the original model's f32
+// scores exactly (both paths read the identical quantized weights).
+func TestModelStoreF32ScoresMatch(t *testing.T) {
+	dir := t.TempDir()
+	store := newTestStore(t, dir)
+	m := hag.New(hag.Config{InDim: 4, NumEdgeTypes: 2, Hidden: []int{6, 4}, AttHidden: 3, Seed: 11})
+	b := testBatch(t, 2, 4)
+	want, ok := gnn.Score32(m, b)
+	if !ok {
+		t.Fatal("HAG lacks the f32 path")
+	}
+	if _, err := store.Save(m, Extras{}); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := gnn.Score32(lm.Model, b)
+	if !ok {
+		t.Fatal("loaded model lacks the f32 path")
+	}
+	if got != want {
+		t.Fatalf("f32 score changed across save/load: %v vs %v", got, want)
+	}
+}

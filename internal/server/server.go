@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -567,6 +568,12 @@ type PredictionServer struct {
 	// all audits, exposed as turbo_feature_fanout_inflight.
 	fanoutInFlight atomic.Int64
 
+	// f32Enabled flips the opt-in float32 scoring path; f32Gate is the
+	// per-model tolerance validation ConfigureF32 installed, re-run on
+	// every SwapModel. Gate failure falls the server back to float64.
+	f32Enabled atomic.Bool
+	f32Gate    func(m gnn.Model) (maxDelta float64, ok bool)
+
 	FeatureLatency *metrics.LatencyRecorder
 	PredictLatency *metrics.LatencyRecorder
 	TotalLatency   *metrics.LatencyRecorder
@@ -658,13 +665,46 @@ func (p *PredictionServer) fanoutWorkerCount(n int) int {
 }
 
 // SwapModel atomically replaces the serving model and normalizer (the
-// model management module calls this after each offline retrain).
+// model management module calls this after each offline retrain). When
+// the float32 path was configured, the new model is re-validated against
+// the tolerance gate and f32 serving is disabled if it fails — a model
+// that quantizes badly must not serve quantized.
 func (p *PredictionServer) SwapModel(m gnn.Model, normalizer func([]float64) []float64) {
 	p.mu.Lock()
 	p.model = m
 	p.Normalizer = normalizer
+	gate := p.f32Gate
 	p.mu.Unlock()
+	if gate != nil {
+		maxDelta, ok := gate(m)
+		p.f32Enabled.Store(ok)
+		if !ok {
+			log.Printf("server: f32 gate failed on swapped model %s (max delta %.3g), serving float64", m.Name(), maxDelta)
+		}
+	}
 }
+
+// ConfigureF32 installs the float32 tolerance gate (typically a closure
+// over gnn.ValidateF32 and a held-out validation batch) and runs it
+// against the current model, enabling float32 scoring when it passes.
+// It returns the gate's verdict. A nil validate disables the path.
+func (p *PredictionServer) ConfigureF32(validate func(m gnn.Model) (maxDelta float64, ok bool)) (float64, bool) {
+	p.mu.Lock()
+	p.f32Gate = validate
+	m := p.model
+	p.mu.Unlock()
+	if validate == nil || m == nil {
+		p.f32Enabled.Store(false)
+		return 0, false
+	}
+	maxDelta, ok := validate(m)
+	p.f32Enabled.Store(ok)
+	return maxDelta, ok
+}
+
+// F32Enabled reports whether audits currently score through the float32
+// path.
+func (p *PredictionServer) F32Enabled() bool { return p.f32Enabled.Load() }
 
 // SetFeatureSource replaces the feature source (the fault injector wraps
 // the real service through this).
@@ -995,7 +1035,15 @@ func (p *PredictionServer) predictFull(ctx context.Context, feats feature.Source
 			defer cancel()
 		}
 		batch := gnn.NewBatch(sg, x)
-		prob, serr = gnn.ScoreCtx(scx, model, batch)
+		scored := false
+		if p.f32Enabled.Load() {
+			if serr = scx.Err(); serr == nil {
+				prob, scored = gnn.Score32(model, batch)
+			}
+		}
+		if serr == nil && !scored {
+			prob, serr = gnn.ScoreCtx(scx, model, batch)
+		}
 		batch.Release()
 		tensor.PutMatrix(x)
 	})

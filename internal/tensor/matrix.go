@@ -111,34 +111,76 @@ func (m *Matrix) MatMul(o *Matrix) *Matrix {
 }
 
 // MatMulInto computes dst = a × b, accumulating into a zeroed dst.
-// dst must not alias a or b. Large products are split across CPUs by
-// row ranges, which keeps writes disjoint.
+// dst must not alias a or b. Large products are split across the worker
+// pool by row ranges, which keeps writes disjoint.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
-	work := a.Rows * a.Cols * b.Cols
-	if work >= parallelThreshold && a.Rows > 1 {
-		parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
-		return
-	}
-	matMulRange(dst, a, b, 0, a.Rows)
+	ParallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
 }
 
+// B-panel blocking bounds for matMulRange: when B exceeds one panel,
+// the k×j iteration space is tiled so each (k-panel × j-panel) slab of
+// B (≤ mmPanelK·mmPanelJ·8 B = 256 KiB, L2-sized) is streamed across
+// all rows of the range before moving on, instead of re-fetching all of
+// B per output row.
+const (
+	mmPanelJ = 256
+	mmPanelK = 128
+)
+
+// matMulRange computes rows [lo, hi) of dst = a×b.
+//
+// Bitwise contract: for every output element (i, j) the contributions
+// a[i,k]*b[k,j] are added in strictly ascending k with the same
+// skip-zero test and round(round(mul)+acc) arithmetic as the historical
+// scalar triple loop, regardless of blocking or SIMD (daxpy never uses
+// FMA on float64). Tape, infer, and sweep all funnel through this
+// kernel, so their logits remain bitwise-equal to each other.
 func matMulRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*n : (i+1)*n]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	kd := a.Cols
+	if kd*n <= mmPanelJ*mmPanelK {
+		for i := lo; i < hi; i++ {
+			matMulRowKernel(dst.Data[i*n:(i+1)*n], a.Data[i*kd:(i+1)*kd], b.Data, n)
+		}
+		return
+	}
+	for k0 := 0; k0 < kd; k0 += mmPanelK {
+		k1 := k0 + mmPanelK
+		if k1 > kd {
+			k1 = kd
+		}
+		for j0 := 0; j0 < n; j0 += mmPanelJ {
+			j1 := j0 + mmPanelJ
+			if j1 > n {
+				j1 = n
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*kd+k0 : i*kd+k1]
+				drow := dst.Data[i*n+j0 : i*n+j1]
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					k := k0 + kk
+					daxpy(drow, b.Data[k*n+j0:k*n+j1], av)
+				}
 			}
 		}
+	}
+}
+
+// matMulRowKernel accumulates one output row: drow += arow × b, where b
+// is row-major with stride n and len(drow) == n. Shared by every matmul
+// variant so they all inherit the same bitwise contract.
+func matMulRowKernel(drow, arow, b []float64, n int) {
+	for k, av := range arow {
+		if av == 0 {
+			continue
+		}
+		daxpy(drow, b[k*n:k*n+n], av)
 	}
 }
 
@@ -199,11 +241,7 @@ func MatMulSplitInto(dst, a1, a2, b *Matrix) {
 	n := b.Cols
 	off := a1.Cols * n
 	work := a1.Rows * (a1.Cols + a2.Cols) * n
-	if work >= parallelThreshold && a1.Rows > 1 {
-		parallelRows(a1.Rows, func(lo, hi int) { matMulSplitRange(dst, a1, a2, b, off, lo, hi) })
-		return
-	}
-	matMulSplitRange(dst, a1, a2, b, off, 0, a1.Rows)
+	ParallelRows(a1.Rows, work, func(lo, hi int) { matMulSplitRange(dst, a1, a2, b, off, lo, hi) })
 }
 
 // matMulSplitRange runs rows [lo, hi) of MatMulSplitInto. A top-level
@@ -214,26 +252,8 @@ func matMulSplitRange(dst, a1, a2, b *Matrix, off, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*n : (i+1)*n]
-		arow := a1.Data[i*a1.Cols : (i+1)*a1.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : k*n+n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-		arow = a2.Data[i*a2.Cols : (i+1)*a2.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[off+k*n : off+k*n+n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+		matMulRowKernel(drow, a1.Data[i*a1.Cols:(i+1)*a1.Cols], b.Data, n)
+		matMulRowKernel(drow, a2.Data[i*a2.Cols:(i+1)*a2.Cols], b.Data[off:], n)
 	}
 }
 
@@ -243,7 +263,10 @@ func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %dx%d × (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := New(m.Rows, o.Rows)
-	kernel := func(lo, hi int) {
+	// Dot-product form: the sequential k-sum is part of the training
+	// numerics (backward passes), so it is dispatched to the pool but
+	// never re-associated or vectorized.
+	ParallelRows(m.Rows, m.Rows*m.Cols*o.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := m.Row(i)
 			for j := 0; j < o.Rows; j++ {
@@ -255,12 +278,7 @@ func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
 				out.Data[i*o.Rows+j] = s
 			}
 		}
-	}
-	if m.Rows*m.Cols*o.Rows >= parallelThreshold && m.Rows > 1 {
-		parallelRows(m.Rows, kernel)
-	} else {
-		kernel(0, m.Rows)
-	}
+	})
 	return out
 }
 
@@ -270,40 +288,25 @@ func (m *Matrix) MatMulTransA(o *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch (%dx%d)ᵀ × %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := New(m.Cols, o.Cols)
-	if m.Rows*m.Cols*o.Cols >= parallelThreshold && m.Cols > 1 {
-		// Parallelize over output rows (columns of m); each worker owns a
-		// disjoint slice of out, trading m's access stride for safety.
-		parallelRows(m.Cols, func(lo, hi int) {
-			for k := 0; k < m.Rows; k++ {
-				arow := m.Row(k)
-				brow := o.Row(k)
-				for i := lo; i < hi; i++ {
-					av := arow[i]
-					if av == 0 {
-						continue
-					}
-					drow := out.Data[i*o.Cols : (i+1)*o.Cols]
-					for j, bv := range brow {
-						drow[j] += av * bv
-					}
+	// One kernel for both the serial and pooled paths (the old serial
+	// copy of this loop nest predated ParallelRows and skipped the
+	// parallel dispatch entirely). Output rows (columns of m) are
+	// disjoint per range, and for a fixed (i, j) the k contributions
+	// arrive in ascending order on either path, so the partition does
+	// not affect results.
+	ParallelRows(m.Cols, m.Rows*m.Cols*o.Cols, func(lo, hi int) {
+		for k := 0; k < m.Rows; k++ {
+			arow := m.Row(k)[lo:hi]
+			brow := o.Row(k)
+			for di, av := range arow {
+				if av == 0 {
+					continue
 				}
-			}
-		})
-		return out
-	}
-	for k := 0; k < m.Rows; k++ {
-		arow := m.Row(k)
-		brow := o.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := out.Data[i*o.Cols : (i+1)*o.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
+				i := lo + di
+				daxpy(out.Data[i*o.Cols:(i+1)*o.Cols], brow, av)
 			}
 		}
-	}
+	})
 	return out
 }
 

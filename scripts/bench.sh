@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Hot-path benchmark harness: runs the tape-vs-infer, batch-compile,
-# audit, WAL-append and recovery-replay benchmarks with allocation
-# reporting and writes a JSON snapshot to BENCH_infer.json (ns/op, B/op,
-# allocs/op per benchmark). Then races the full-graph sweep against the
-# naive score-everyone loop and writes BENCH_sweep.json with the
-# speedup. Finally boots a tiny turbo-server and drives it with the
-# open-loop load harness, writing the latency scoreboard to
-# BENCH_load.json (p50/p99/p999 per endpoint, offered vs achieved QPS).
+# Hot-path benchmark harness: runs the tape-vs-infer (float64 and
+# float32), batch-compile, audit, WAL-append and recovery-replay
+# benchmarks with allocation reporting and writes a JSON snapshot to
+# BENCH_infer.json (ns/op, B/op, allocs/op per benchmark). Then runs the
+# tensor kernel grid (matmul GFLOP/s per kernel tier and precision,
+# fused-vs-unfused CSR aggregate+transform, pool crossover, false
+# sharing) into BENCH_kernels.json, races the full-graph sweep against
+# the naive score-everyone loop into BENCH_sweep.json, and finally boots
+# a tiny turbo-server under the open-loop load harness, writing the
+# latency scoreboard to BENCH_load.json (p50/p99/p999 per endpoint,
+# offered vs achieved QPS).
 #
 # Usage: scripts/bench.sh [benchtime] [sweep_benchtime] [load_qps] [load_duration]
 #        (defaults 200x / 5x / 150 / 5s)
@@ -47,11 +50,47 @@ END {
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
 
+# --- Tensor kernel grid ------------------------------------------------------
+# GFLOP/s for every matmul kernel tier (serial naive, blocked, blocked +
+# worker pool; float64 and float32) plus the fused-vs-unfused CSR
+# aggregate+transform step and the pool-crossover / false-sharing
+# microbenchmarks behind the tuning constants in internal/tensor.
+KERNEL_OUT="BENCH_kernels.json"
+KERNEL_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW"' EXIT
+
+echo "== go test -bench kernels (benchtime=$BENCHTIME)"
+go test -run 'XXX-none' -bench 'BenchmarkMatMulKernels|BenchmarkFusedAggTransform|BenchmarkParallelCrossover|BenchmarkFalseSharing' \
+    -benchtime "$BENCHTIME" ./internal/tensor/ ./internal/autodiff/ | tee "$KERNEL_RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    names[n] = name
+    iters[n] = $2
+    nsop[n] = $3
+    gflops[n] = ($5 == "GFLOP/s") ? $4 : ""
+    n++
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], iters[i], nsop[i]
+        if (gflops[i] != "") printf ", \"gflops\": %s", gflops[i]
+        printf "}%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$KERNEL_RAW" > "$KERNEL_OUT"
+
+echo "wrote $KERNEL_OUT ($(grep -c '"name"' "$KERNEL_OUT") benchmarks)"
+
 # --- Full-graph sweep vs naive score-everyone loop ---------------------------
 SWEEP_BENCHTIME="${2:-5x}"
 SWEEP_OUT="BENCH_sweep.json"
 SWEEP_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$SWEEP_RAW"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$SWEEP_RAW"' EXIT
 
 echo "== go test -bench sweep vs naive (benchtime=$SWEEP_BENCHTIME)"
 go test -run 'XXX-none' -bench 'BenchmarkFullGraphSweep|BenchmarkScoreEveryoneNaive' \
@@ -78,7 +117,7 @@ LOAD_ADDR="127.0.0.1:18091"
 TMPBIN="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
-    rm -f "$RAW" "$SWEEP_RAW"
+    rm -f "$RAW" "$KERNEL_RAW" "$SWEEP_RAW"
     rm -rf "$TMPBIN"
     [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
 }
