@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -44,6 +45,7 @@ func main() {
 	rampSpec := flag.String("ramp", "", "stepped ramp start:step:max:dur to find max sustainable QPS (stops at first unsustained stage)")
 	auditFrac := flag.Float64("mix.audit", 0.5, "fraction of ops that are audits (GET /predict); the rest ingest (POST /ingest)")
 	users := flag.Int("users", 300, "audit uid space [1,users]; match the server's preset or streamed world")
+	zipf := flag.Float64("zipf", 0, "Zipf(s) skew for audit uid draws, 0<s<1 (0 = uniform; 0.99 = heavy repeat-target mix, the embedding tier's showcase); deterministic under -seed")
 	workers := flag.Int("workers", 128, "in-flight request bound (shapes concurrency, never the schedule)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	seed := flag.Uint64("seed", 42, "workload seed (op mix, uids, payloads)")
@@ -58,6 +60,7 @@ func main() {
 		Workers:   *workers,
 		Timeout:   *timeout,
 		Seed:      *seed,
+		ZipfS:     *zipf,
 	}
 	switch {
 	case *rampSpec != "":
@@ -96,8 +99,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("driving %s: %d stage(s), mix %.0f%% audit, %d workers, seed %d",
-		*base, len(cfg.Stages), cfg.AuditFrac*100, cfg.Workers, cfg.Seed)
+	uidDist := "uniform uids"
+	if cfg.ZipfS > 0 {
+		uidDist = fmt.Sprintf("zipf(%.2f) uids", cfg.ZipfS)
+	}
+	log.Printf("driving %s: %d stage(s), mix %.0f%% audit (%s), %d workers, seed %d",
+		*base, len(cfg.Stages), cfg.AuditFrac*100, uidDist, cfg.Workers, cfg.Seed)
 	rep, err := loadgen.Run(ctx, cfg, target)
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +124,18 @@ func main() {
 		}
 	}
 	log.Printf("max sustainable QPS: %.0f", rep.MaxSustainableQPS)
+	if len(rep.ServedBy) > 0 {
+		tiers := make([]string, 0, len(rep.ServedBy))
+		for tier := range rep.ServedBy {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		var sb strings.Builder
+		for _, tier := range tiers {
+			fmt.Fprintf(&sb, " %s=%d", tier, rep.ServedBy[tier])
+		}
+		log.Printf("audits served by tier:%s", sb.String())
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

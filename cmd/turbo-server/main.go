@@ -50,6 +50,7 @@ import (
 	"turbo/internal/baselines"
 	"turbo/internal/core"
 	"turbo/internal/datagen"
+	"turbo/internal/embed"
 	"turbo/internal/eval"
 	"turbo/internal/gnn"
 	"turbo/internal/graph"
@@ -69,6 +70,11 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs (0 = harness default)")
 	threshold := flag.Float64("threshold", 0.85, "online fraud threshold (§VI-E uses 0.85)")
 	advanceEvery := flag.Duration("advance-every", 10*time.Second, "BN window-job scheduler period")
+
+	// Lambda embedding-serving tier.
+	embedServe := flag.Bool("embed.serve", true, "serve clean-neighborhood audits from precomputed penultimate embeddings (dirty neighborhoods always fall through to full scoring)")
+	embedRefreshEvery := flag.Duration("embed.refresh-every", time.Second, "background incremental re-embed period for the dirty set")
+	embedTrustBoot := flag.Bool("embed.trust-boot-table", false, "serve a reloaded embedding table without re-embedding it first (assert no edges changed while the process was down)")
 
 	// Durable state (all off unless -data.dir is set).
 	dataDir := flag.String("data.dir", "", "data directory for the WAL, checkpoints and model artifacts (empty = memory-only)")
@@ -337,6 +343,40 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Lambda embedding tier: install the engine (delta observer +
+	// mark-before-publish hook) before any retrain machinery references
+	// it; the table itself is built or reloaded after the artifact
+	// version is pinned below.
+	var embedEng *server.EmbedEngine
+	var embedStore *persist.EmbedStore
+	if *embedServe {
+		var eerr error
+		embedEng, eerr = sys.EnableEmbedTier()
+		if eerr != nil {
+			log.Fatal(eerr)
+		}
+		if modelStore != nil {
+			embedStore, eerr = persist.NewEmbedStore(modelStore.Dir(), log.Printf)
+			if eerr != nil {
+				log.Fatal(eerr)
+			}
+		}
+	}
+	saveEmbedTable := func() {
+		if embedEng == nil || embedStore == nil {
+			return
+		}
+		tab := embedEng.Store().Table()
+		if tab == nil {
+			return
+		}
+		if d := tab.Export(); d != nil {
+			if err := embedStore.Save(d); err != nil {
+				log.Printf("persisting embed table: %v", err)
+			}
+		}
+	}
+
 	// Model management: /admin/retrain runs one pass on demand; every
 	// accepted retrain is persisted as the next artifact version.
 	trainFn := func() (gnn.Model, func([]float64) []float64, error) {
@@ -344,9 +384,25 @@ func main() {
 		return m, a.Norm.Apply, nil
 	}
 	mgr := server.NewModelManager(pred, trainFn)
-	// After every accepted swap, re-score the whole graph in one sweep so
-	// cached scores reflect the new model immediately.
+	// After every accepted swap, re-score the whole graph so cached
+	// scores reflect the new model immediately. With the embedding tier
+	// on, the table rebuild doubles as that sweep (its sweep scores the
+	// final layer anyway and refreshes the tier-3 cache).
 	mgr.SetResweep(func() {
+		if embedEng != nil {
+			rep, err := embedEng.RebuildOnce(ctx)
+			if err != nil {
+				log.Printf("post-retrain embed rebuild: %v", err)
+				return
+			}
+			if rep.Servable {
+				log.Printf("post-retrain embed rebuild: %d rows in %v (%d skipped)",
+					rep.Rows, rep.Elapsed, rep.Skipped)
+				saveEmbedTable()
+				return
+			}
+			log.Printf("post-retrain: model has no embedding decomposition; sweeping")
+		}
 		rep, err := sys.Resweep(ctx)
 		if err != nil {
 			log.Printf("post-retrain sweep: %v", err)
@@ -409,6 +465,55 @@ func main() {
 		} else {
 			log.Printf("f32 inference requested but gate failed (max logit delta %.3g, tol %.1g): serving float64", maxDelta, tol)
 		}
+	}
+
+	// Embedding-table boot recovery: reload the table persisted for the
+	// serving artifact version when one exists (re-embedding it unless
+	// the operator vouches no edges changed while down), else run the
+	// initial rebuild sweep. Then start the background dirty-set refresh.
+	if embedEng != nil {
+		loadedTable := false
+		if embedStore != nil && servingVersion > 0 {
+			d, lerr := embedStore.Load(servingVersion)
+			switch {
+			case lerr == nil:
+				if es, ok := model.(gnn.EmbedServing); ok {
+					snap := sys.BNServer().Snapshot()
+					tab, ierr := embed.ImportTable(d, es, snap, 0)
+					if ierr != nil {
+						log.Printf("embed table v%d unusable: %v; rebuilding", servingVersion, ierr)
+					} else {
+						if !*embedTrustBoot {
+							tab.MarkAll()
+						}
+						embedEng.Store().Install(tab, snap)
+						loadedTable = true
+						log.Printf("loaded embed table v%d (%d rows, built %s)",
+							servingVersion, tab.NumRows(), d.BuiltAt.Format(time.RFC3339))
+					}
+				}
+			case errors.Is(lerr, persist.ErrNoEmbedTable):
+				// First boot on this artifact: rebuild below.
+			default:
+				log.Printf("embed table artifacts: %v; rebuilding", lerr)
+			}
+		}
+		if !loadedTable {
+			rep, rerr := embedEng.RebuildOnce(ctx)
+			if rerr != nil {
+				log.Printf("embed rebuild: %v", rerr)
+			} else if rep.Servable {
+				log.Printf("embed table built: %d rows in %v (%d skipped)", rep.Rows, rep.Elapsed, rep.Skipped)
+				saveEmbedTable()
+			} else {
+				log.Printf("embedding tier idle: model has no embedding decomposition")
+			}
+		} else if !*embedTrustBoot {
+			rep := embedEng.RefreshOnce()
+			log.Printf("embed boot re-embed: %d rows refreshed in %v", rep.Ball, rep.Elapsed)
+			saveEmbedTable()
+		}
+		go embedEng.RunRefreshLoop(ctx, *embedRefreshEvery)
 	}
 
 	// The scheduler tick: window jobs run in parallel to predictions.

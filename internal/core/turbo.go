@@ -38,11 +38,12 @@ type Config struct {
 
 // System is a running Turbo instance.
 type System struct {
-	cfg     Config
-	bn      *server.BNServer
-	feats   *feature.Service
-	pred    *server.PredictionServer
-	sweeper *server.SweepEngine
+	cfg      Config
+	bn       *server.BNServer
+	feats    *feature.Service
+	pred     *server.PredictionServer
+	sweeper  *server.SweepEngine
+	embedEng *server.EmbedEngine
 }
 
 // New creates a Turbo system anchored at t0 (the BN epoch-grid origin).
@@ -140,8 +141,34 @@ func (s *System) API() *server.API {
 	api.Admin.Sweep = func(ctx context.Context) (server.SweepReport, error) {
 		return s.sweeper.RunOnce(ctx)
 	}
+	if s.embedEng != nil {
+		api.Embed = s.embedEng
+		api.Admin.EmbedRefresh = func(ctx context.Context) (server.EmbedRefreshReport, error) {
+			return s.embedEng.RefreshOnce(), nil
+		}
+	}
 	return api
 }
+
+// EnableEmbedTier installs the lambda embedding-serving tier (call after
+// SetModel, before serving): precomputed penultimate embeddings answer
+// clean-neighborhood audits with just the final aggregation layer, edge
+// deltas invalidate through the dirty set, and everything else falls
+// through to the normal ladder. Returns the engine for rebuild/refresh
+// scheduling; idempotent.
+func (s *System) EnableEmbedTier() (*server.EmbedEngine, error) {
+	if s.pred == nil {
+		return nil, fmt.Errorf("core: attach a model with SetModel before EnableEmbedTier")
+	}
+	if s.embedEng == nil {
+		s.embedEng = server.NewEmbedEngine(s.bn, s.pred)
+	}
+	return s.embedEng, nil
+}
+
+// EmbedEngine exposes the embedding tier's engine (nil until
+// EnableEmbedTier).
+func (s *System) EmbedEngine() *server.EmbedEngine { return s.embedEng }
 
 // Sweeper exposes the full-graph sweep engine (nil until SetModel): one
 // shard-parallel layer-at-a-time pass re-scores every audit-eligible

@@ -1,0 +1,110 @@
+package embed
+
+import (
+	"fmt"
+	"time"
+
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+	"turbo/internal/tensor"
+)
+
+// TableDump is the durable state of an embedding table: everything
+// needed to resume serving after a restart except the aggregation
+// stars, which are cheap to recompile and must reflect the boot
+// snapshot anyway. Version is the model artifact version the
+// activations were computed under.
+type TableDump struct {
+	Version   int
+	Hops      int
+	Widths    []int
+	BuiltAt   time.Time
+	Epoch     uint64
+	IDs       []graph.NodeID
+	XCols     int
+	X         []float64   // len(IDs)×XCols frozen features, row-major
+	Rows      [][]float64 // per stream: len(IDs)×Widths[s], row-major
+	DirtyRows []int32     // rows dirty at export time
+}
+
+// Export captures the table for persistence. It must not run
+// concurrently with a Refresh (the embed engine's run lock serializes
+// them); nil is returned if any row pointer is unset.
+func (t *Table) Export() *TableDump {
+	n := len(t.ids)
+	d := &TableDump{
+		Version:   t.version,
+		Hops:      t.hops,
+		Widths:    append([]int(nil), t.widths...),
+		BuiltAt:   t.builtAt,
+		Epoch:     t.Epoch(),
+		IDs:       append([]graph.NodeID(nil), t.ids...),
+		XCols:     t.x.Cols,
+		X:         append([]float64(nil), t.x.Data...),
+		DirtyRows: t.dirtyRows(),
+	}
+	for s, w := range t.widths {
+		flat := make([]float64, n*w)
+		for i := 0; i < n; i++ {
+			p := t.rows[s][i].Load()
+			if p == nil {
+				return nil
+			}
+			copy(flat[i*w:(i+1)*w], *p)
+		}
+		d.Rows = append(d.Rows, flat)
+	}
+	return d
+}
+
+// ImportTable reconstructs a servable table from a dump: activations
+// and frozen features come from disk, aggregation stars are recompiled
+// against the boot snapshot, and the dump's dirty rows are re-marked.
+// The table's epoch is the boot snapshot's.
+//
+// The caller decides how much to trust the rows: edges that changed
+// while the process was down are invisible here, so unless the operator
+// asserts otherwise, MarkAll the returned table and let the refresh
+// loop (or a rebuild) repair it — dirty rows fall back, they never
+// serve stale.
+func ImportTable(d *TableDump, model gnn.EmbedServing, snap *graph.Snapshot, workers int) (*Table, error) {
+	widths, hops := model.EmbedSpec()
+	if hops != d.Hops || len(widths) != len(d.Widths) {
+		return nil, fmt.Errorf("embed: dump spec (hops %d, %d streams) does not match model (hops %d, %d streams)",
+			d.Hops, len(d.Widths), hops, len(widths))
+	}
+	for s, w := range widths {
+		if w != d.Widths[s] {
+			return nil, fmt.Errorf("embed: dump stream %d width %d, model wants %d", s, d.Widths[s], w)
+		}
+	}
+	n := len(d.IDs)
+	if len(d.X) != n*d.XCols {
+		return nil, fmt.Errorf("embed: dump has %d feature values for %d×%d", len(d.X), n, d.XCols)
+	}
+	for s, w := range widths {
+		if len(d.Rows[s]) != n*w {
+			return nil, fmt.Errorf("embed: dump stream %d has %d values for %d×%d", s, len(d.Rows[s]), n, w)
+		}
+	}
+
+	x := tensor.New(n, d.XCols)
+	copy(x.Data, d.X)
+	t := newTable(d.Version, model, widths, hops, d.BuiltAt, d.IDs, x)
+	t.epoch.Store(snap.Epoch())
+	for s, w := range widths {
+		mat := tensor.New(n, w)
+		copy(mat.Data, d.Rows[s])
+		for i := 0; i < n; i++ {
+			row := mat.Row(i)
+			t.rows[s][i].Store(&row)
+		}
+	}
+	t.compileStars(snap, workers)
+	for _, r := range d.DirtyRows {
+		if r >= 0 && int(r) < n {
+			t.markRow(r)
+		}
+	}
+	return t, nil
+}

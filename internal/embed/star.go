@@ -1,0 +1,108 @@
+package embed
+
+import (
+	"math"
+	"sort"
+
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+)
+
+// star.go builds per-target aggregation stars: the incoming §III-A
+// weighted edge rows of one node, restricted to the table universe,
+// with weights bitwise-equal to graph.FullSubgraph over the same node
+// set. The final-layer CSR row for target u holds one entry per
+// universe neighbor v in ascending-ID order with weight
+// w(u,v)/√(deg_t(u)·deg_t(v)) — exactly what fillFullSubgraph emits for
+// (Src=v, Dst=u), since undirected storage makes w symmetric and
+// ascending neighbor ID equals ascending universe row. Merged entries
+// fold duplicate (type, neighbor) pairs in type order, matching
+// gnn.mergeEdges' stable sort.
+
+// starEntry is a pre-localization edge: a universe row plus the
+// normalized weight.
+type starEntry struct {
+	row int32
+	w   float64
+}
+
+// buildStar assembles the aggregation star of universe row r against
+// snap. Returns a star even when the node has no universe neighbors
+// (self-loop-only aggregation still serves).
+func (t *Table) buildStar(snap *graph.Snapshot, r int32) *gnn.EmbedStar {
+	u := t.ids[r]
+	nTypes := snap.NumEdgeTypes()
+	typed := make([][]starEntry, nTypes)
+	total := 0
+	for et := 0; et < nTypes; et++ {
+		du := snap.TypedWeightedDegree(u, graph.EdgeType(et))
+		if du == 0 {
+			continue
+		}
+		snap.ForEachTypedNeighbor(u, graph.EdgeType(et), func(v graph.NodeID, w float64) {
+			vr, ok := t.index[v]
+			if !ok {
+				return
+			}
+			dv := snap.TypedWeightedDegree(v, graph.EdgeType(et))
+			if dv == 0 {
+				return
+			}
+			typed[et] = append(typed[et], starEntry{row: vr, w: w / math.Sqrt(du*dv)})
+		})
+		total += len(typed[et])
+	}
+
+	// Merge across types: stable sort by universe row, fold duplicates in
+	// concatenation (= type) order, as mergeEdges does by (src, dst).
+	all := make([]starEntry, 0, total)
+	for et := 0; et < nTypes; et++ {
+		all = append(all, typed[et]...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].row < all[j].row })
+	merged := all[:0]
+	for _, e := range all {
+		if n := len(merged); n > 0 && merged[n-1].row == e.row {
+			merged[n-1].w += e.w
+		} else {
+			merged = append(merged, e)
+		}
+	}
+
+	// Localize: gathered block row 0 is the target; merged neighbors
+	// follow in sorted order. A self edge (should not occur in a BN, but
+	// harmless) maps to local 0.
+	star := &gnn.EmbedStar{
+		Gather: make([]int32, 1, len(merged)+1),
+		Merged: make([]gnn.StarEdge, len(merged)),
+	}
+	star.Gather[0] = r
+	mergedRows := make([]int32, len(merged))
+	mergedLocal := make([]int32, len(merged))
+	for i, e := range merged {
+		var local int32
+		if e.row == r {
+			local = 0
+		} else {
+			local = int32(len(star.Gather))
+			star.Gather = append(star.Gather, e.row)
+		}
+		mergedRows[i] = e.row
+		mergedLocal[i] = local
+		star.Merged[i] = gnn.StarEdge{Row: local, Weight: e.w}
+	}
+
+	star.Typed = make([][]gnn.StarEdge, nTypes)
+	for et := 0; et < nTypes; et++ {
+		if len(typed[et]) == 0 {
+			continue
+		}
+		es := make([]gnn.StarEdge, len(typed[et]))
+		for i, e := range typed[et] {
+			k := sort.Search(len(mergedRows), func(k int) bool { return mergedRows[k] >= e.row })
+			es[i] = gnn.StarEdge{Row: mergedLocal[k], Weight: e.w}
+		}
+		star.Typed[et] = es
+	}
+	return star
+}

@@ -168,14 +168,28 @@ func (p *SweepProgram) AppendHead(head *nn.MLP, h *tensor.Matrix, x *tensor.Matr
 // BuildSweep implements SweepInferer for GCN: one step per graph layer
 // (gather rows of A×h, then the row's linear+bias+ReLU — identical
 // per-row arithmetic to Infer), then the head.
-func (m *GCN) BuildSweep(b *Batch) *SweepProgram {
+func (m *GCN) BuildSweep(b *Batch) *SweepProgram { return m.buildSweep(b, nil) }
+
+// buildSweep is BuildSweep with optional penultimate capture: when
+// capture is non-nil, the last layer's step first copies its input rows
+// (h^{L-1}, the embedding-serving state) into the caller-owned buffer —
+// free of extra barriers, since the prior step's barrier already
+// finalized those rows.
+func (m *GCN) buildSweep(b *Batch, capture *tensor.Matrix) *SweepProgram {
 	adj := b.MergedRWCSR()
 	p := NewSweepProgram(b.NumNodes)
 	h := b.X
 	for li, l := range m.layers {
 		in, l := h, l
+		var cp *tensor.Matrix
+		if li == len(m.layers)-1 {
+			cp = capture
+		}
 		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
 		p.Step(fmt.Sprintf("gcn.l%d", li), func(f *Fwd, lo, hi int) {
+			if cp != nil {
+				CopyRows(cp, in, lo, hi)
+			}
 			ClearRows(out, lo, hi)
 			// Fused aggregate+transform: the A×h panel never leaves cache,
 			// and the full-graph agg buffer disappears from the program.
@@ -194,14 +208,25 @@ func (m *GCN) BuildSweep(b *Batch) *SweepProgram {
 
 // BuildSweep implements SweepInferer for GraphSAGE: each layer gathers
 // the neighbor mean and runs the split matmul of Infer on its row range.
-func (m *GraphSAGE) BuildSweep(b *Batch) *SweepProgram {
+func (m *GraphSAGE) BuildSweep(b *Batch) *SweepProgram { return m.buildSweep(b, nil) }
+
+// buildSweep is BuildSweep with optional penultimate capture (see the
+// GCN variant for the contract).
+func (m *GraphSAGE) buildSweep(b *Batch, capture *tensor.Matrix) *SweepProgram {
 	adj := b.MergedMeanCSR()
 	p := NewSweepProgram(b.NumNodes)
 	h := b.X
 	for li, l := range m.layers {
 		in, l := h, l
+		var cp *tensor.Matrix
+		if li == len(m.layers)-1 {
+			cp = capture
+		}
 		out := p.Alloc(b.NumNodes, l.W.Value.Cols)
 		p.Step(fmt.Sprintf("sage.l%d", li), func(f *Fwd, lo, hi int) {
+			if cp != nil {
+				CopyRows(cp, in, lo, hi)
+			}
 			ClearRows(out, lo, hi)
 			adj.AggTransformSplitRangeInto(out, in, l.W.Value, lo, hi)
 			ov := out.RowsView(lo, hi)
@@ -225,7 +250,12 @@ func (m *GraphSAGE) BuildSweep(b *Batch) *SweepProgram {
 // per-edge/per-segment arithmetic replicates Infer's SegmentSoftmax and
 // scatter matmul exactly. Heads aggregate directly into their column
 // block of the concatenated output.
-func (m *GAT) BuildSweep(b *Batch) *SweepProgram {
+func (m *GAT) BuildSweep(b *Batch) *SweepProgram { return m.buildSweep(b, nil) }
+
+// buildSweep is BuildSweep with optional penultimate capture (see the
+// GCN variant for the contract). The copy rides in the last layer's
+// projection step, which is the step that reads the captured input.
+func (m *GAT) buildSweep(b *Batch, capture *tensor.Matrix) *SweepProgram {
 	st := b.gatStruct()
 	p := NewSweepProgram(b.NumNodes)
 	n := b.NumNodes
@@ -233,6 +263,10 @@ func (m *GAT) BuildSweep(b *Batch) *SweepProgram {
 	h := b.X
 	for li, layer := range m.layers {
 		in, layer := h, layer
+		var cp *tensor.Matrix
+		if li == len(m.layers)-1 {
+			cp = capture
+		}
 		heads := layer.heads
 		headCols := heads[0].w.Value.Cols
 		whs := make([]*tensor.Matrix, len(heads))
@@ -247,6 +281,9 @@ func (m *GAT) BuildSweep(b *Batch) *SweepProgram {
 		alpha := p.Alloc(nE, 1)
 		out := p.Alloc(n, headCols*len(heads))
 		p.Step(fmt.Sprintf("gat.l%d.proj", li), func(f *Fwd, lo, hi int) {
+			if cp != nil {
+				CopyRows(cp, in, lo, hi)
+			}
 			for k, hd := range heads {
 				ClearRows(whs[k], lo, hi)
 				tensor.MatMulRangeInto(whs[k], in, hd.w.Value, lo, hi)

@@ -85,6 +85,30 @@ type Graph struct {
 	edgeCount   atomic.Int64 // undirected edges counted once, summed over types
 	edgesByType []atomic.Int64
 	epoch       atomic.Uint64 // bumped by Snapshot()
+
+	// deltaObs, when set, is called once per edge mutation (weight
+	// accumulation or TTL expiry) with the edge endpoints — the hook the
+	// embedding dirty-set tracker hangs off. Called outside shard locks.
+	deltaObs atomic.Pointer[func(u, v NodeID)]
+}
+
+// SetDeltaObserver registers fn to observe every edge delta: each
+// AddEdgeWeight call and each undirected edge dropped by Prune fires fn
+// once with the edge endpoints, after the shard locks are released. fn
+// must be cheap and must not mutate the graph; pass nil to unregister.
+func (g *Graph) SetDeltaObserver(fn func(u, v NodeID)) {
+	if fn == nil {
+		g.deltaObs.Store(nil)
+		return
+	}
+	g.deltaObs.Store(&fn)
+}
+
+// notifyDelta fires the registered delta observer, if any.
+func (g *Graph) notifyDelta(u, v NodeID) {
+	if obs := g.deltaObs.Load(); obs != nil {
+		(*obs)(u, v)
+	}
 }
 
 // New creates a graph supporting edge types [0, numTypes).
@@ -146,6 +170,7 @@ func (g *Graph) AddEdgeWeight(t EdgeType, u, v NodeID, w float64, expireAt time.
 	}
 	g.upsertHalf(sv, t, v, u, w, expireAt)
 	g.unlockPair(iu, iv)
+	g.notifyDelta(u, v)
 	return nil
 }
 
@@ -400,6 +425,8 @@ func (g *Graph) NormalizedWeight(t EdgeType, u, v NodeID) float64 {
 // stay in the registered-node set: isolated nodes remain registered.
 func (g *Graph) Prune(now time.Time) int {
 	dropped := 0
+	var expired [][2]NodeID // fired once per undirected edge, outside locks
+	observing := g.deltaObs.Load() != nil
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.Lock()
@@ -417,6 +444,9 @@ func (g *Graph) Prune(now time.Time) int {
 						if u < e.to { // count each undirected edge once
 							dropped++
 							g.edgesByType[t].Add(-1)
+							if observing {
+								expired = append(expired, [2]NodeID{u, e.to})
+							}
 						}
 						continue
 					}
@@ -436,6 +466,9 @@ func (g *Graph) Prune(now time.Time) int {
 		sh.mu.Unlock()
 	}
 	g.edgeCount.Add(int64(-dropped))
+	for _, p := range expired {
+		g.notifyDelta(p[0], p[1])
+	}
 	return dropped
 }
 

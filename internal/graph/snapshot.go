@@ -179,6 +179,37 @@ func (s *Snapshot) Neighbors(u NodeID) []NodeID {
 	return out
 }
 
+// ForEachTypedNeighbor calls fn for every type-t neighbor of u in
+// ascending node-ID order, with the raw (un-normalized) edge weight.
+// Zero-allocation — the embedding star builder and the dirty-set BFS
+// walk whole neighborhoods per node, where the allocating accessors
+// would dominate.
+func (s *Snapshot) ForEachTypedNeighbor(u NodeID, t EdgeType, fn func(v NodeID, w float64)) {
+	lo, hi, ok := s.rowSpan(u, t)
+	if !ok {
+		return
+	}
+	for k := lo; k < hi; k++ {
+		fn(s.nbr[t][k], s.wts[t][k])
+	}
+}
+
+// ForEachNeighbor calls fn for every adjacency entry of u across all
+// edge types; a neighbor connected by several types is visited once per
+// type. Zero-allocation.
+func (s *Snapshot) ForEachNeighbor(u NodeID, fn func(v NodeID)) {
+	i := s.row(u)
+	if i < 0 {
+		return
+	}
+	for t := 0; t < s.numTypes; t++ {
+		lo, hi := s.offsets[t][i], s.offsets[t][i+1]
+		for k := lo; k < hi; k++ {
+			fn(s.nbr[t][k])
+		}
+	}
+}
+
 // Degree returns the number of distinct neighbors of u across all types.
 func (s *Snapshot) Degree(u NodeID) int { return len(s.Neighbors(u)) }
 

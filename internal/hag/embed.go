@@ -1,0 +1,65 @@
+package hag
+
+import (
+	"turbo/internal/gnn"
+	"turbo/internal/tensor"
+)
+
+// embed.go implements the gnn.EmbedServing split for HAG and its
+// ablations (see internal/gnn/embed.go for the contract). Every SAO
+// stream is a separate penultimate activation stream: with CFO, stream
+// r is the h^{L-1} of edge type r's homogeneous subgraph; with CFO(-)
+// there is a single stream over the merged weighted graph. InferFinal
+// mirrors InferTarget's tail exactly — last SAO layer per stream on the
+// target row, CFO micro-attention, node-wise softmax, macro fusion,
+// head — with the neighbor aggregation rows rebuilt from the star.
+
+// EmbedSpec implements gnn.EmbedServing.
+func (m *HAG) EmbedSpec() (widths []int, hops int) {
+	widths = make([]int, len(m.streams))
+	for r, stack := range m.streams {
+		widths[r] = stack[len(stack)-1].wls.Value.Rows
+	}
+	return widths, len(m.streams[0])
+}
+
+// BuildEmbedSweep implements gnn.EmbedServing.
+func (m *HAG) BuildEmbedSweep(b *gnn.Batch, capture []*tensor.Matrix) *gnn.SweepProgram {
+	return m.buildSweep(b, capture)
+}
+
+// InferFinal implements gnn.EmbedServing.
+func (m *HAG) InferFinal(f *gnn.Fwd, star *gnn.EmbedStar, hs []*tensor.Matrix) float64 {
+	gated := !m.cfg.DisableSAOGate
+	if m.cfg.DisableCFO {
+		ls := m.streams[0]
+		l := ls[len(ls)-1]
+		h := hs[0]
+		row := l.infer(f, h.RowView(0), gnn.StarAggRow(f, h, star.Merged, false, false), gated)
+		return f.MLP(m.head, row).Data[0]
+	}
+	nTypes := m.cfg.NumEdgeTypes
+	scores := f.Get(1, nTypes)
+	rows := make([]*tensor.Matrix, nTypes)
+	for r := 0; r < nTypes; r++ {
+		ls := m.streams[r]
+		l := ls[len(ls)-1]
+		h := hs[r]
+		row := l.infer(f, h.RowView(0), gnn.StarAggRow(f, h, star.Typed[r], false, false), gated)
+		rows[r] = row
+		s := f.MatMul(tensor.TanhInPlace(f.MatMul(row, m.cfo[r].wAtt.Value)), m.cfo[r].vAtt.Value)
+		scores.Set(0, r, s.Data[0])
+	}
+	alpha := tensor.SoftmaxRowsInPlace(scores)
+	var fused *tensor.Matrix
+	for r := 0; r < nTypes; r++ {
+		term := f.MatMul(rows[r], m.cfo[r].m.Value)
+		scaleRowsByCol(term, alpha, r)
+		if fused == nil {
+			fused = term
+		} else {
+			fused.AddInPlace(term)
+		}
+	}
+	return f.MLP(m.head, fused).Data[0]
+}

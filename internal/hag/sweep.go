@@ -59,13 +59,20 @@ func (l *saoLayer) sweepRange(s *saoScratch, in *tensor.Matrix, gated bool, lo, 
 }
 
 // buildStream appends one SAO stack's steps and returns its final
-// embedding buffer.
-func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack []*saoLayer, adj *autodiff.CSR) *tensor.Matrix {
+// embedding buffer. When capture is non-nil, the stack's last step
+// first copies its input rows (the stream's penultimate activations,
+// h^{L-1}) into the caller-owned buffer — no extra barrier, since the
+// prior step's barrier already finalized those rows.
+func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack []*saoLayer, adj *autodiff.CSR, capture *tensor.Matrix) *tensor.Matrix {
 	gated := !m.cfg.DisableSAOGate
 	n := b.NumNodes
 	h := b.X
 	for li, l := range stack {
 		in, l := h, l
+		var cp *tensor.Matrix
+		if li == len(stack)-1 {
+			cp = capture
+		}
 		sc := &saoScratch{
 			out:    p.Alloc(n, l.out),
 			neighT: p.Alloc(n, l.out),
@@ -79,6 +86,9 @@ func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack 
 			sc.al = p.Alloc(n, 2)
 		}
 		p.Step(fmt.Sprintf("%s.l%d", name, li), func(f *gnn.Fwd, lo, hi int) {
+			if cp != nil {
+				gnn.CopyRows(cp, in, lo, hi)
+			}
 			gnn.ClearRows(sc.neighT, lo, hi)
 			if gated {
 				gnn.ClearRows(sc.tN, lo, hi)
@@ -103,18 +113,28 @@ func (m *HAG) buildStream(p *gnn.SweepProgram, b *gnn.Batch, name string, stack 
 // BuildSweep implements gnn.SweepInferer for HAG and all its ablation
 // variants: per-type SAO streams (or the single merged stream of
 // CFO(-)), the CFO fusion step, then the head.
-func (m *HAG) BuildSweep(b *gnn.Batch) *gnn.SweepProgram {
+func (m *HAG) BuildSweep(b *gnn.Batch) *gnn.SweepProgram { return m.buildSweep(b, nil) }
+
+// buildSweep is BuildSweep with optional per-stream penultimate capture
+// (capture[r] receives stream r's h^{L-1}; nil disables capture).
+func (m *HAG) buildSweep(b *gnn.Batch, capture []*tensor.Matrix) *gnn.SweepProgram {
 	p := gnn.NewSweepProgram(b.NumNodes)
 	n := b.NumNodes
+	cap0 := func(r int) *tensor.Matrix {
+		if capture == nil {
+			return nil
+		}
+		return capture[r]
+	}
 	if m.cfg.DisableCFO {
-		h := m.buildStream(p, b, "hag.s0", m.streams[0], b.MergedWeightedMeanCSR())
+		h := m.buildStream(p, b, "hag.s0", m.streams[0], b.MergedWeightedMeanCSR(), cap0(0))
 		p.AppendHead(m.head, h, b.X)
 		return p
 	}
 	nTypes := m.cfg.NumEdgeTypes
 	typeEmb := make([]*tensor.Matrix, nTypes)
 	for r := 0; r < nTypes; r++ {
-		typeEmb[r] = m.buildStream(p, b, fmt.Sprintf("hag.s%d", r), m.streams[r], b.TypedMeanCSR(r))
+		typeEmb[r] = m.buildStream(p, b, fmt.Sprintf("hag.s%d", r), m.streams[r], b.TypedMeanCSR(r), cap0(r))
 	}
 	tmp := p.Alloc(n, m.cfg.AttHidden)
 	sCol := p.Alloc(n, 1)

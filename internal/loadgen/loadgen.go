@@ -69,6 +69,14 @@ type Config struct {
 	AuditFrac float64
 	// Users is the audit uid space [1, Users].
 	Users int
+	// ZipfS skews audit uid draws with a Zipf(s) distribution over the
+	// uid space: uid 1 is the hottest target, so audits repeatedly
+	// re-hit the same neighborhoods (the embedding tier's best case and
+	// the invalidation path's worst). 0 keeps the uniform draw; valid
+	// values are in (0, 1) — 0.99 is the YCSB-style heavy skew. The
+	// draw comes from the op hash, so runs stay deterministic under
+	// Seed either way.
+	ZipfS float64
 	// Workers bounds in-flight requests (default 128). It shapes
 	// concurrency, never the schedule.
 	Workers int
@@ -87,6 +95,10 @@ type Config struct {
 	// the rate (default 0.01).
 	SustainedAchievedFrac float64
 	SustainedErrorRate    float64
+
+	// zipf is the compiled sampler when ZipfS is set (built in
+	// defaults, nil for the uniform mix).
+	zipf *zipfSampler
 }
 
 func (c *Config) defaults() {
@@ -113,6 +125,9 @@ func (c *Config) defaults() {
 	}
 	if c.Source == nil {
 		c.Source = NewSyntheticSource(c.Seed, c.Users)
+	}
+	if c.ZipfS > 0 && c.ZipfS < 1 {
+		c.zipf = newZipfSampler(c.Users, c.ZipfS)
 	}
 }
 
@@ -173,6 +188,17 @@ func splitmix64(x uint64) uint64 {
 // transport failures).
 type Target interface {
 	Do(ctx context.Context, op Op) (status int, err error)
+}
+
+// TierCounter is an optional Target capability: cumulative counts of
+// audits answered per degradation-ladder tier (the served_by section of
+// the server's /stats). When a target implements it, Run snapshots the
+// counters around every stage and reports the per-stage delta, so the
+// scoreboard shows which tier (embed, full, fallback, cache, …)
+// actually absorbed the offered load. Failures are soft: a stage whose
+// snapshot errs simply omits the breakdown.
+type TierCounter interface {
+	ServedCounts(ctx context.Context) (map[string]int64, error)
 }
 
 // maxPending is the high-water mark of the op queue: past it the
@@ -239,14 +265,34 @@ func Run(ctx context.Context, cfg Config, target Target) (*Report, error) {
 			return nil, fmt.Errorf("loadgen: invalid stage %+v", st)
 		}
 	}
+	if cfg.ZipfS != 0 && cfg.zipf == nil {
+		return nil, fmt.Errorf("loadgen: ZipfS %v outside (0,1); 0 disables the skew", cfg.ZipfS)
+	}
 	rep := &Report{
 		AuditFrac: cfg.AuditFrac,
 		Users:     cfg.Users,
 		Workers:   cfg.Workers,
 		Seed:      cfg.Seed,
+		ZipfS:     cfg.ZipfS,
 	}
+	tc, _ := target.(TierCounter)
 	for _, st := range cfg.Stages {
+		var before map[string]int64
+		if tc != nil {
+			before, _ = tc.ServedCounts(ctx)
+		}
 		sr := runStage(ctx, &cfg, st, target)
+		if tc != nil && before != nil {
+			if after, err := tc.ServedCounts(ctx); err == nil {
+				sr.ServedBy = diffCounts(before, after)
+				for tier, n := range sr.ServedBy {
+					if rep.ServedBy == nil {
+						rep.ServedBy = make(map[string]int64)
+					}
+					rep.ServedBy[tier] += n
+				}
+			}
+		}
 		rep.Stages = append(rep.Stages, sr)
 		if sr.Sustained && st.QPS > rep.MaxSustainableQPS {
 			rep.MaxSustainableQPS = st.QPS
@@ -332,11 +378,17 @@ dispatch:
 
 // nextOp derives op i of a stage: the mix and uid draws come from the
 // seeded hash so runs with the same seed issue the same request
-// sequence.
+// sequence — including under the Zipf skew, whose rank is a pure
+// function of the same hash.
 func (c *Config) nextOp(i uint64, intended time.Time) Op {
 	h := splitmix64(c.Seed ^ (i + 0x51ED2701))
 	if float64(h>>11)/float64(1<<53) < c.AuditFrac {
-		return Op{Kind: KindAudit, UID: behavior.UserID(1 + splitmix64(h)%uint64(c.Users))}
+		r := splitmix64(h)
+		uid := 1 + r%uint64(c.Users)
+		if c.zipf != nil {
+			uid = uint64(c.zipf.rank(float64(r>>11) / float64(1<<53)))
+		}
+		return Op{Kind: KindAudit, UID: behavior.UserID(uid)}
 	}
 	l := c.Source.NextLog(intended)
 	return Op{Kind: KindIngest, UID: l.User, Log: l}

@@ -137,6 +137,157 @@ func TestOpMixDeterministic(t *testing.T) {
 	}
 }
 
+// TestZipfAuditSkew asserts the -zipf repeat-target mix: same-seed runs
+// draw the same uid sequence, uids stay in range, rank 1 dominates the
+// frequency table far beyond its uniform share, and an out-of-range
+// skew is rejected by Run.
+func TestZipfAuditSkew(t *testing.T) {
+	mk := func() *Config {
+		c := &Config{AuditFrac: 1, Users: 1000, Seed: 5, ZipfS: 0.99}
+		c.defaults()
+		return c
+	}
+	a, b := mk(), mk()
+	const n = 20000
+	at := time.Now()
+	freq := make(map[uint64]int)
+	for i := uint64(0); i < n; i++ {
+		oa, ob := a.nextOp(i, at), b.nextOp(i, at)
+		if oa.UID != ob.UID {
+			t.Fatalf("op %d differs under same seed: uid %d vs %d", i, oa.UID, ob.UID)
+		}
+		if oa.UID < 1 || int(oa.UID) > a.Users {
+			t.Fatalf("uid %d outside [1,%d]", oa.UID, a.Users)
+		}
+		freq[uint64(oa.UID)]++
+	}
+	// Zipf(0.99) over 1000 ranks gives rank 1 roughly 1/ζ ≈ 13% of the
+	// mass; uniform would be 0.1%. Assert well above uniform and that
+	// the hottest uid is rank 1.
+	top, topUID := 0, uint64(0)
+	for uid, c := range freq {
+		if c > top {
+			top, topUID = c, uid
+		}
+	}
+	if topUID != 1 {
+		t.Fatalf("hottest uid %d, want rank 1", topUID)
+	}
+	if share := float64(top) / n; share < 0.05 {
+		t.Fatalf("rank-1 share %.4f under zipf(0.99); want ≥ 0.05", share)
+	}
+
+	// A different seed must produce a different sequence (the skew is
+	// seeded, not fixed).
+	c2 := &Config{AuditFrac: 1, Users: 1000, Seed: 6, ZipfS: 0.99}
+	c2.defaults()
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.nextOp(i, at).UID == c2.nextOp(i, at).UID {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seed does not influence the zipf uid sequence")
+	}
+
+	// Out-of-range skew: Run must refuse rather than silently serve
+	// uniform.
+	bad := Config{Stages: []Stage{{QPS: 1, Duration: time.Millisecond}}, ZipfS: 1.5}
+	if _, err := Run(context.Background(), bad, NewHTTPTarget("http://127.0.0.1:0", 1)); err == nil {
+		t.Fatal("Run accepted ZipfS=1.5")
+	}
+}
+
+// tierTarget is a Target that also exposes cumulative per-tier serve
+// counters, attributing every audit to a fixed tier — the loadgen-side
+// contract of the server's /stats served_by section.
+type tierTarget struct {
+	mu     sync.Mutex
+	served map[string]int64
+}
+
+func (tt *tierTarget) Do(ctx context.Context, op Op) (int, error) {
+	if op.Kind == KindAudit {
+		tt.mu.Lock()
+		tt.served["embed"]++
+		tt.mu.Unlock()
+	}
+	return http.StatusOK, nil
+}
+
+func (tt *tierTarget) ServedCounts(ctx context.Context) (map[string]int64, error) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make(map[string]int64, len(tt.served))
+	for k, v := range tt.served {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// TestServedByCounts asserts the scoreboard carries the per-tier audit
+// breakdown: stage deltas match the audits completed and the run total
+// sums the stages.
+func TestServedByCounts(t *testing.T) {
+	tt := &tierTarget{served: map[string]int64{"embed": 7}} // pre-run counts must not leak into the delta
+	cfg := Config{
+		Stages:    []Stage{{QPS: 200, Duration: 200 * time.Millisecond}, {QPS: 200, Duration: 200 * time.Millisecond}},
+		AuditFrac: 1,
+		Users:     20,
+		Workers:   8,
+		Seed:      11,
+	}
+	rep, err := Run(context.Background(), cfg, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i, st := range rep.Stages {
+		audits := st.Endpoints[KindAudit].Count
+		if st.ServedBy["embed"] != audits {
+			t.Fatalf("stage %d served_by %v, want embed=%d", i, st.ServedBy, audits)
+		}
+		total += audits
+	}
+	if rep.ServedBy["embed"] != total {
+		t.Fatalf("run served_by %v, want embed=%d", rep.ServedBy, total)
+	}
+
+	// JSON schema: the breakdown must surface under the scoreboard key.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["served_by"]; !ok {
+		t.Fatalf("report JSON missing served_by: %s", raw)
+	}
+}
+
+// TestHTTPTargetServedCounts asserts the HTTP target reads the
+// served_by section of GET /stats.
+func TestHTTPTargetServedCounts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"served_by":{"embed":12,"full":3},"other":"ignored"}`))
+	}))
+	defer srv.Close()
+	got, err := NewHTTPTarget(srv.URL, 1).ServedCounts(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["embed"] != 12 || got["full"] != 3 {
+		t.Fatalf("served counts %v", got)
+	}
+}
+
 // TestCoordinatedOmissionSafety is the acceptance check for open-loop
 // measurement: a server stall must surface in the intended-schedule
 // latency percentiles. The handler blocks every request for the first
@@ -152,6 +303,12 @@ func TestCoordinatedOmissionSafety(t *testing.T) {
 	var gateOnce sync.Once
 	var served atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			// The scoreboard's tier-counter probe must not consume the
+			// stall the op schedule is supposed to observe.
+			w.Write([]byte(`{}`))
+			return
+		}
 		if d := time.Until(stallUntil); d > 0 {
 			gateOnce.Do(func() {
 				go func() { time.Sleep(d); close(gate) }()

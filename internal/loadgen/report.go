@@ -37,6 +37,12 @@ type StageReport struct {
 	// criteria (achieved/offered and error-rate thresholds).
 	Sustained bool                    `json:"sustained"`
 	Endpoints map[Kind]EndpointReport `json:"endpoints"`
+	// ServedBy is the per-tier audit count absorbed during this stage —
+	// the delta of the target's cumulative served_by counters (present
+	// only when the target exposes them, i.e. HTTP runs against a live
+	// /stats). Counts are the server's own attribution, so audits from
+	// other clients sharing the server land here too.
+	ServedBy map[string]int64 `json:"served_by,omitempty"`
 }
 
 // Report is the BENCH_load.json scoreboard.
@@ -46,8 +52,13 @@ type Report struct {
 	Users     int     `json:"users"`
 	Workers   int     `json:"workers"`
 	Seed      uint64  `json:"seed"`
+	// ZipfS echoes the audit-uid skew the run was offered with (0 =
+	// uniform draws).
+	ZipfS float64 `json:"zipf_s,omitempty"`
 
 	Stages []StageReport `json:"stages"`
+	// ServedBy sums the per-stage tier breakdowns across the whole run.
+	ServedBy map[string]int64 `json:"served_by,omitempty"`
 	// MaxSustainableQPS is the highest offered rate among sustained
 	// stages — the stepped-ramp headline figure. 0 when no stage held.
 	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
@@ -56,6 +67,21 @@ type Report struct {
 
 // ms converts a duration to float milliseconds for the report.
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// diffCounts subtracts two cumulative tier-counter snapshots, keeping
+// only tiers that moved. nil when nothing did.
+func diffCounts(before, after map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for tier, n := range after {
+		if d := n - before[tier]; d != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[tier] = d
+		}
+	}
+	return out
+}
 
 // endpointReport snapshots one endpoint's stage stats.
 func endpointReport(s *endpointStats, elapsed time.Duration) EndpointReport {

@@ -66,6 +66,36 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) (int, error) {
 	return resp.StatusCode, nil
 }
 
+// ServedCounts implements TierCounter: it reads the server's cumulative
+// per-tier audit counters from the served_by section of GET /stats.
+func (t *HTTPTarget) ServedCounts(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /stats: status %d", resp.StatusCode)
+	}
+	var body struct {
+		ServedBy map[string]int64 `json:"served_by"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("loadgen: GET /stats: %w", err)
+	}
+	if body.ServedBy == nil {
+		body.ServedBy = map[string]int64{}
+	}
+	return body.ServedBy, nil
+}
+
 // WaitReady polls base/readyz until it answers 200 or ctx expires —
 // the pre-flight gate before a run.
 func (t *HTTPTarget) WaitReady(ctx context.Context) error {

@@ -1,0 +1,69 @@
+package loadgen
+
+import "math"
+
+// zipfSampler maps uniform [0,1) draws onto a Zipf(s) distribution over
+// ranks [1, n] — the YCSB hot-key construction: precompute the harmonic
+// normalizer ζ(n, s) once, then each draw is O(1). Rank 1 is the
+// hottest uid, so a skewed audit mix repeatedly re-targets the same
+// small set of users — exactly the traffic shape the embedding tier's
+// clean-neighborhood hits thrive on, and the worst case for a cache
+// that invalidates on every edge touch.
+//
+// The construction requires s ∈ (0, 1); Run validates the bound. The
+// sampler is pure (no internal state), so op sequences stay
+// deterministic under a fixed seed: the draw comes from the op hash.
+type zipfSampler struct {
+	n     int
+	theta float64 // skew s
+	alpha float64 // 1/(1-s)
+	zetan float64 // ζ(n, s)
+	eta   float64
+}
+
+// newZipfSampler precomputes the normalizer for ranks [1, n]. The ζ sum
+// is O(n) but runs once per load run (a few ms even for million-user
+// uid spaces).
+func newZipfSampler(n int, theta float64) *zipfSampler {
+	if n < 1 {
+		n = 1
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1.0
+	if n >= 2 {
+		zeta2 += 1 / math.Pow(2, theta)
+	}
+	z := &zipfSampler{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+	}
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	if math.IsNaN(z.eta) || math.IsInf(z.eta, 0) {
+		z.eta = 0 // n == 1: every draw is rank 1 anyway
+	}
+	return z
+}
+
+// rank maps a uniform u ∈ [0,1) to a 1-based Zipf rank.
+func (z *zipfSampler) rank(u float64) int {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 1
+	}
+	if z.n >= 2 && uz < 1+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	r := 1 + int(float64(z.n)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r < 1 {
+		r = 1
+	}
+	if r > z.n {
+		r = z.n
+	}
+	return r
+}

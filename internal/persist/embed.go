@@ -1,0 +1,146 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+
+	"turbo/internal/embed"
+)
+
+// ErrNoEmbedTable is returned by EmbedStore.Load when no usable table
+// artifact exists for the requested model version.
+var ErrNoEmbedTable = errors.New("persist: no embedding table artifact")
+
+const (
+	embedMagic  = "TBEMBED1"
+	embedSuffix = ".bin"
+)
+
+// EmbedStore reads and writes embedding-table artifacts versioned
+// alongside the model artifacts: embed-NNNNNN.bin carries the
+// penultimate activations computed under model version NNNNNN, so a
+// swap or rollback that changes the serving version atomically
+// invalidates the table (there is simply no artifact for it until the
+// next rebuild is saved).
+type EmbedStore struct {
+	dir  string
+	logf func(string, ...any)
+}
+
+// NewEmbedStore opens (creating if needed) an embedding artifact
+// directory — typically the model artifact directory itself.
+func NewEmbedStore(dir string, logf func(string, ...any)) (*EmbedStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: embed dir: %w", err)
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &EmbedStore{dir: dir, logf: logf}, nil
+}
+
+// Dir returns the artifact directory.
+func (s *EmbedStore) Dir() string { return s.dir }
+
+func embedName(v int) string { return fmt.Sprintf("embed-%06d%s", v, embedSuffix) }
+
+// Save atomically writes the dump as the table artifact for its model
+// version (temp file, fsync, rename), replacing any previous table for
+// that version. Older versions' tables are removed — they can never be
+// served again without a rebuild anyway.
+func (s *EmbedStore) Save(d *embed.TableDump) error {
+	if d == nil {
+		return fmt.Errorf("persist: nil embedding table dump")
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(d); err != nil {
+		return fmt.Errorf("persist: embed encode: %w", err)
+	}
+	sum := crc32.Checksum(payload.Bytes(), castagnoli)
+	buf := make([]byte, 0, len(embedMagic)+4+payload.Len())
+	buf = append(buf, embedMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
+	buf = append(buf, payload.Bytes()...)
+
+	final := filepath.Join(s.dir, embedName(d.Version))
+	tmp, err := os.CreateTemp(s.dir, "embed-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: embed temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: embed write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: embed fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("persist: embed rename: %w", err)
+	}
+	s.pruneOthers(d.Version)
+	return nil
+}
+
+// pruneOthers removes table artifacts for every version but keep: a
+// table is only ever valid for the exact serving artifact, so stale
+// ones are dead weight.
+func (s *EmbedStore) pruneOthers(keep int) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var v int
+		if n, err := fmt.Sscanf(name, "embed-%06d.bin", &v); n != 1 || err != nil {
+			continue
+		}
+		if v != keep {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				s.logf("persist: pruning embed artifact %s: %v", name, err)
+			}
+		}
+	}
+}
+
+// Load reads and validates the table artifact for one model version.
+// ErrNoEmbedTable when none exists; corruption is an error (the caller
+// falls back to a rebuild sweep).
+func (s *EmbedStore) Load(version int) (*embed.TableDump, error) {
+	path := filepath.Join(s.dir, embedName(version))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNoEmbedTable
+		}
+		return nil, fmt.Errorf("persist: embed read: %w", err)
+	}
+	if len(b) < len(embedMagic)+4 || string(b[:len(embedMagic)]) != embedMagic {
+		return nil, fmt.Errorf("persist: %s: bad embed artifact header", filepath.Base(path))
+	}
+	want := binary.LittleEndian.Uint32(b[len(embedMagic):])
+	payload := b[len(embedMagic)+4:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("persist: %s: embed artifact checksum mismatch", filepath.Base(path))
+	}
+	var d embed.TableDump
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("persist: %s: embed artifact decode: %w", filepath.Base(path), err)
+	}
+	if d.Version != version {
+		return nil, fmt.Errorf("persist: %s: artifact says version %d", filepath.Base(path), d.Version)
+	}
+	return &d, nil
+}

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"turbo/internal/embed"
+	"turbo/internal/gnn"
+	"turbo/internal/graph"
+	"turbo/internal/sweep"
+	"turbo/internal/tensor"
+)
+
+// TestEmbedStoreRoundTrip pins the embedding-table artifact cycle:
+// Export → Save → Load → ImportTable must reproduce the serving state
+// exactly — clean rows serve the same probabilities bitwise, dirty rows
+// stay dirty — and version bookkeeping (missing artifact, pruning on a
+// newer save) behaves.
+func TestEmbedStoreRoundTrip(t *testing.T) {
+	const n, types, dim = 16, 2, 4
+	never := time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := tensor.NewRNG(9)
+	g := graph.New(types)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	for e := 0; e < 3*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		_ = g.AddEdgeWeight(graph.EdgeType(rng.Intn(types)),
+			graph.NodeID(u), graph.NodeID(v), rng.Float64()+0.1, never)
+	}
+	snap := g.Snapshot()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	x := tensor.RandNormal(n, dim, 1, rng)
+
+	var m gnn.Model = gnn.NewGraphSAGE(gnn.Config{InDim: dim, Hidden: []int{5, 3}, MLPHidden: 3, Seed: 3})
+	es := m.(gnn.EmbedServing)
+	res, err := embed.Build(snap, ids, x, es, 42, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := embed.NewStore()
+	s.Install(res.Table, snap)
+	g.SetDeltaObserver(s.NoteDelta)
+
+	// One post-build delta: its ball must survive the round trip as
+	// dirty rows.
+	if err := g.AddEdgeWeight(0, ids[1], ids[5], 1.0, never); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := g.Snapshot()
+	s.Flush(snap2)
+	if res.Table.DirtyCount() == 0 {
+		t.Fatal("delta did not dirty the table")
+	}
+
+	dump := res.Table.Export()
+	if dump == nil {
+		t.Fatal("export returned nil on a fully built table")
+	}
+	store, err := NewEmbedStore(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(42); !errors.Is(err, ErrNoEmbedTable) {
+		t.Fatalf("load before save: %v, want ErrNoEmbedTable", err)
+	}
+	if err := store.Save(dump); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(41); !errors.Is(err, ErrNoEmbedTable) {
+		t.Fatalf("load of foreign version: %v, want ErrNoEmbedTable", err)
+	}
+
+	d2, err := store.Load(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := embed.ImportTable(d2, es, snap2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() != 42 || tab.DirtyCount() != res.Table.DirtyCount() {
+		t.Fatalf("imported version %d dirty %d, want 42/%d",
+			tab.Version(), tab.DirtyCount(), res.Table.DirtyCount())
+	}
+	s2 := embed.NewStore()
+	s2.Install(tab, snap2)
+	for _, id := range ids {
+		p1, r1 := s.TryServe(snap2, id, m)
+		p2, r2 := s2.TryServe(snap2, id, m)
+		if r1 != r2 {
+			t.Fatalf("node %d: result %v vs imported %v", id, r1, r2)
+		}
+		if r1 == embed.Hit && p1 != p2 {
+			t.Fatalf("node %d: prob %v vs imported %v", id, p1, p2)
+		}
+	}
+
+	// A newer version's save prunes the old artifact.
+	dump.Version = 43
+	if err := store.Save(dump); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(42); !errors.Is(err, ErrNoEmbedTable) {
+		t.Fatalf("pruned version still loads: %v", err)
+	}
+	if _, err := store.Load(43); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 //	POST /admin/checkpoint  force a full-state checkpoint now
 //	POST /admin/retrain     run one gated retrain pass now (gate verdict in the JSON)
 //	POST /admin/sweep       re-score every user via one full-graph sweep
+//	POST /admin/embed/refresh  re-embed the dirty set incrementally now
 //	POST /admin/rollback    re-install the previous accepted model (?reason=...)
 //	GET  /admin/models      artifact lineage: every version with its lifecycle status
 //
@@ -55,6 +56,9 @@ type API struct {
 	// Sweep, when set, surfaces the full-graph sweep engine's progress in
 	// /stats (in-flight count and last report).
 	Sweep *SweepEngine
+	// Embed, when set, surfaces the embedding tier's state in /stats
+	// (table size, dirty rows, last rebuild/refresh).
+	Embed *EmbedEngine
 	// MaxBodyBytes bounds every POST request body (0 selects 1 MiB);
 	// overflow answers 413 instead of exhausting memory.
 	MaxBodyBytes int64
@@ -82,6 +86,8 @@ type AdminHooks struct {
 	// Sweep re-scores every audit-eligible user via one full-graph sweep
 	// and returns its report; ctx bounds the cancellable stages.
 	Sweep func(ctx context.Context) (SweepReport, error)
+	// EmbedRefresh re-embeds the embedding tier's dirty set now.
+	EmbedRefresh func(ctx context.Context) (EmbedRefreshReport, error)
 	// Rollback re-installs the previous accepted model.
 	Rollback func(reason string) error
 	// Models returns the artifact lineage, and Lifecycle the manager's
@@ -110,6 +116,7 @@ func NewAPI(pred *PredictionServer, bn *BNServer) *API {
 	a.mux.HandleFunc("/admin/checkpoint", a.handleAdminCheckpoint)
 	a.mux.HandleFunc("/admin/retrain", a.handleAdminRetrain)
 	a.mux.HandleFunc("/admin/sweep", a.handleAdminSweep)
+	a.mux.HandleFunc("/admin/embed/refresh", a.handleAdminEmbedRefresh)
 	a.mux.HandleFunc("/admin/rollback", a.handleAdminRollback)
 	a.mux.HandleFunc("/admin/models", requireGET(a.handleAdminModels))
 	if pred != nil {
@@ -337,6 +344,9 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		body["sweep"] = sweep
 	}
+	if a.Embed != nil {
+		body["embed"] = a.Embed.StatsSnapshot()
+	}
 	writeJSON(w, body)
 }
 
@@ -465,6 +475,30 @@ func (a *API) handleAdminSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		a.logf("admin/sweep: %v", err)
 		http.Error(w, "sweep failed", http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleAdminEmbedRefresh re-embeds the embedding tier's dirty set now
+// and returns the refresh report. Client disconnect unblocks the
+// handler; the refresh itself runs to completion in the background.
+func (a *API) handleAdminEmbedRefresh(w http.ResponseWriter, r *http.Request) {
+	if !a.requirePOSTReady(w, r) {
+		return
+	}
+	if a.Admin.EmbedRefresh == nil {
+		http.Error(w, "embedding tier not configured", http.StatusServiceUnavailable)
+		return
+	}
+	rep, err, done := runCancellable(r.Context(), a.Admin.EmbedRefresh)
+	if !done {
+		a.logf("admin/embed/refresh: client gone: %v", err)
+		return
+	}
+	if err != nil {
+		a.logf("admin/embed/refresh: %v", err)
+		http.Error(w, "embed refresh failed", http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, rep)

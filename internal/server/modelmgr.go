@@ -155,11 +155,14 @@ func (m *ModelManager) SetNormBuilder(fn func(mean, std []float64) func([]float6
 }
 
 // SetCurrentVersion records the artifact version serving now (the boot
-// path calls this after LoadLatest), anchoring rollback lineage.
+// path calls this after LoadLatest), anchoring rollback lineage and the
+// prediction server's version tag for the tier-3 cache and the
+// embedding tier.
 func (m *ModelManager) SetCurrentVersion(v int) {
 	m.mu.Lock()
 	m.currentVersion = v
 	m.mu.Unlock()
+	m.pred.SetModelVersion(v)
 }
 
 // Models returns the artifact lineage (every on-disk version with its
@@ -303,6 +306,7 @@ func (m *ModelManager) RetrainOnceCtx(ctx context.Context) (RetrainReport, error
 			m.mu.Lock()
 			m.currentVersion = man.Version
 			m.mu.Unlock()
+			m.pred.SetModelVersion(man.Version)
 			m.pred.Tel.ArtifactSaved(true)
 		}
 	}
@@ -430,6 +434,11 @@ func (m *ModelManager) Rollback(reason string) error {
 	m.rollbacks++
 	m.lastRollback = reason
 	m.currentVersion = restored
+	if restored > 0 {
+		// Pin the restored artifact version (SwapModel already dropped
+		// the withdrawn model's cache under a synthetic tag).
+		m.pred.SetModelVersion(restored)
+	}
 	m.prevModel, m.prevNorm = nil, nil // consumed
 	resweep := m.resweep
 	m.mu.Unlock()

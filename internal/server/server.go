@@ -78,6 +78,14 @@ type BNServer struct {
 	// crash. Install with SetJournal before serving.
 	journal *persist.Manager
 
+	// prePublish, when set, runs on every freshly taken snapshot BEFORE
+	// it is stored as the read snapshot. The embed engine hooks it to
+	// flush pending edge-delta dirty marks (mark-before-publish): a
+	// reader can never observe a snapshot whose deltas have not yet been
+	// reflected in the embedding dirty set. Install with SetPrePublish
+	// before serving.
+	prePublish func(*graph.Snapshot)
+
 	SampleHops      int
 	MaxNeighbors    int
 	SamplingLatency *metrics.LatencyRecorder
@@ -329,9 +337,18 @@ func (s *BNServer) ReplayTxn(u behavior.UserID) { s.applyTxn(u) }
 func (s *BNServer) RefreshSnapshot() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.snap.Store(s.g.Snapshot())
+	snap := s.g.Snapshot()
+	if s.prePublish != nil {
+		s.prePublish(snap)
+	}
+	s.snap.Store(snap)
 	s.snapPublished.Store(time.Now().UnixNano())
 }
+
+// SetPrePublish installs a hook invoked on every new snapshot before it
+// becomes the read snapshot (nil removes it). Call before serving;
+// installation is not synchronized with in-flight Advances.
+func (s *BNServer) SetPrePublish(fn func(*graph.Snapshot)) { s.prePublish = fn }
 
 // Recover rebuilds this server from the installed journal — newest valid
 // checkpoint plus WAL tail — and republishes the read snapshot. It must
@@ -356,6 +373,9 @@ func (s *BNServer) Advance(now time.Time) int {
 	defer s.mu.Unlock()
 	jobs := s.builder.Advance(now)
 	snap := s.g.Snapshot()
+	if s.prePublish != nil {
+		s.prePublish(snap)
+	}
 	s.snap.Store(snap)
 	s.snapPublished.Store(time.Now().UnixNano())
 	if s.tel != nil {
@@ -455,6 +475,10 @@ func (s *BNServer) SampleCtx(ctx context.Context, u behavior.UserID) (*graph.Sub
 // Serving tiers of the degradation ladder, reported in
 // Prediction.ServedBy and counted per audit.
 const (
+	// TierEmbed is the lambda tier above TierFull: final aggregation
+	// layer over precomputed penultimate embeddings, served only when
+	// the target's whole aggregation star is clean for the live model.
+	TierEmbed = "embed"
 	// TierFull is the healthy path: HAG over the sampled subgraph.
 	TierFull = "hag"
 	// TierFallback is the feature-only fallback model over the target
@@ -542,6 +566,11 @@ type PredictionServer struct {
 	// Prior is the tier-3 score for users with no cached score (the base
 	// fraud rate). NewPredictionServer sets 0.05.
 	Prior float64
+	// Embed, when set, is the lambda serving tier consulted before the
+	// full sampled-subgraph path: score from precomputed penultimate
+	// embeddings when the target's neighborhood is clean, fall through
+	// otherwise. NewEmbedEngine installs it.
+	Embed *EmbedEngine
 	// FanoutWorkers bounds the concurrent feature fetches of one audit's
 	// fan-out. 0 is adaptive: sequential below serialFanoutThreshold
 	// nodes (goroutine spawn + synchronization dominates in-process
@@ -561,8 +590,16 @@ type PredictionServer struct {
 	// creates one; never nil afterwards, but all uses are nil-safe.
 	Tel *Telemetry
 
-	lastMu sync.RWMutex
-	last   map[behavior.UserID]float64 // last-known scores (tier 3)
+	// lastMu guards the tier-3 cache and its version tag. lastVersion is
+	// the artifact version the cached scores were computed under; a model
+	// swap or rollback drops the cache so a feature outage never serves
+	// scores from a retired model. maxVersion tracks the highest version
+	// ever seen so synthetic bumps (swaps without an artifact store)
+	// never collide with a real artifact version.
+	lastMu      sync.RWMutex
+	last        map[behavior.UserID]float64 // last-known scores (tier 3)
+	lastVersion int
+	maxVersion  int
 
 	// fanoutInFlight counts feature fetches currently in flight across
 	// all audits, exposed as turbo_feature_fanout_inflight.
@@ -675,6 +712,14 @@ func (p *PredictionServer) SwapModel(m gnn.Model, normalizer func([]float64) []f
 	p.Normalizer = normalizer
 	gate := p.f32Gate
 	p.mu.Unlock()
+	// Every swap retires the previous model's cached scores and moves the
+	// version tag to a never-before-used value; the model manager pins
+	// the real artifact version right after (SetModelVersion).
+	p.lastMu.Lock()
+	p.maxVersion++
+	p.lastVersion = p.maxVersion
+	p.last = make(map[behavior.UserID]float64)
+	p.lastMu.Unlock()
 	if gate != nil {
 		maxDelta, ok := gate(m)
 		p.f32Enabled.Store(ok)
@@ -724,15 +769,54 @@ func (p *PredictionServer) Serving() (feature.Source, gnn.Model, func([]float64)
 }
 
 // RememberScores bulk-installs freshly computed scores into the
-// last-known-score cache (tier 3 of the degradation ladder). The sweep
-// engine calls it after re-scoring the graph, so a later feature outage
-// serves sweep-fresh scores instead of stale ones.
+// last-known-score cache (tier 3 of the degradation ladder) under the
+// current artifact version.
 func (p *PredictionServer) RememberScores(users []behavior.UserID, probs []float64) {
 	p.lastMu.Lock()
 	for i, u := range users {
 		p.last[u] = probs[i]
 	}
 	p.lastMu.Unlock()
+}
+
+// RememberScoresFor is RememberScores tagged with the artifact version
+// the scores were computed under: if a swap or rollback moved the
+// serving version while the sweep ran, the batch is dropped instead of
+// poisoning the new model's cache with the old model's scores.
+func (p *PredictionServer) RememberScoresFor(users []behavior.UserID, probs []float64, version int) {
+	p.lastMu.Lock()
+	defer p.lastMu.Unlock()
+	if version != p.lastVersion {
+		return
+	}
+	for i, u := range users {
+		p.last[u] = probs[i]
+	}
+}
+
+// SetModelVersion pins the serving artifact version (the model manager
+// calls it after each accepted swap, rollback, or boot load). A version
+// change drops the tier-3 cache — its scores belong to the previous
+// artifact.
+func (p *PredictionServer) SetModelVersion(v int) {
+	p.lastMu.Lock()
+	if v != p.lastVersion {
+		p.lastVersion = v
+		p.last = make(map[behavior.UserID]float64)
+	}
+	if v > p.maxVersion {
+		p.maxVersion = v
+	}
+	p.lastMu.Unlock()
+}
+
+// ModelVersion returns the serving artifact version tag. Engines
+// snapshot it before a long scoring pass and hand it back through
+// RememberScoresFor / embed.Build so stale batches are rejected.
+func (p *PredictionServer) ModelVersion() int {
+	p.lastMu.RLock()
+	defer p.lastMu.RUnlock()
+	return p.lastVersion
 }
 
 // ModelLoaded reports whether a serving model is attached (readiness).
@@ -799,6 +883,13 @@ func (p *PredictionServer) PredictCtx(ctx context.Context, u behavior.UserID, at
 	p.mu.RUnlock()
 
 	start := time.Now()
+	if p.Embed != nil && model != nil {
+		if pred, ok := p.Embed.TryPredict(u, model, p.Threshold); ok {
+			p.finish(&pred, u, start, true)
+			trace.SetTier(pred.ServedBy, pred.Degraded)
+			return pred, nil
+		}
+	}
 	pred, err := p.predictFull(ctx, feats, model, normalizer, u, at)
 	if err == nil {
 		p.finish(&pred, u, start, true)

@@ -91,6 +91,7 @@ func (e *SweepEngine) RunOnce(ctx context.Context) (SweepReport, error) {
 
 	start := time.Now()
 	feats, model, norm := e.pred.Serving()
+	version := e.pred.ModelVersion()
 	if model == nil {
 		return SweepReport{}, fmt.Errorf("server: sweep: no model attached")
 	}
@@ -146,7 +147,7 @@ func (e *SweepEngine) RunOnce(ctx context.Context) (SweepReport, error) {
 	b.Release()
 	tensor.PutMatrix(x)
 
-	e.pred.RememberScores(okUsers, out)
+	e.pred.RememberScoresFor(okUsers, out, version)
 	rep.Edges = st.Edges
 	rep.Steps = st.Steps
 	rep.Workers = st.Workers

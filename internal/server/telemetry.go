@@ -72,6 +72,12 @@ type TelemetryOptions struct {
 //	turbo_sweep_shard_seconds             per-shard sweep compute-time histogram
 //	turbo_sweep_nodes_total               nodes scored by full-graph sweeps
 //	turbo_sweep_inflight                  full-graph sweeps currently running
+//	turbo_embedding_serve_total{result}   embedding-tier serve attempts: hit/dirty/miss/fallback
+//	turbo_embedding_age_seconds           age of the embedding table rows (-1 = no table)
+//	turbo_embedding_dirty_rows            embedding rows currently invalidated by edge deltas
+//	turbo_embedding_rows                  rows in the live embedding table (0 = no table)
+//	turbo_embedding_refresh_seconds       incremental embedding-refresh latency histogram
+//	turbo_embedding_refreshed_rows_total  embedding rows recomputed by incremental refreshes
 //	turbo_ingest_lag_seconds              wall clock minus the event-time watermark (freshness)
 //	turbo_bn_build_lag_seconds            watermark minus the builder's processed-through frontier
 //	turbo_admission_inflight              audits currently holding an admission slot
@@ -125,6 +131,14 @@ type Telemetry struct {
 	sweepSeconds      *telemetry.Histogram
 	sweepShardSeconds *telemetry.Histogram
 	sweepNodes        *telemetry.Counter
+
+	embedServe      *telemetry.CounterVec
+	embedHit        *telemetry.Counter
+	embedDirty      *telemetry.Counter
+	embedMiss       *telemetry.Counter
+	embedFallback   *telemetry.Counter
+	embedRefreshSec *telemetry.Histogram
+	embedRefreshed  *telemetry.Counter
 }
 
 // Audit pipeline stages, the label values of turbo_audit_stage_seconds.
@@ -227,6 +241,28 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 		"Per-shard compute time within full-graph sweeps (spread = shard imbalance).", opts.Buckets)
 	t.sweepNodes = reg.Counter("turbo_sweep_nodes_total",
 		"Nodes scored by full-graph sweeps.")
+
+	t.embedServe = reg.CounterVec("turbo_embedding_serve_total",
+		"Embedding-tier serve attempts by result: hit (served), dirty, miss, fallback.", "result")
+	t.embedHit = t.embedServe.With("hit")
+	t.embedDirty = t.embedServe.With("dirty")
+	t.embedMiss = t.embedServe.With("miss")
+	t.embedFallback = t.embedServe.With("fallback")
+	t.embedRefreshSec = reg.Histogram("turbo_embedding_refresh_seconds",
+		"Incremental embedding-refresh latency (dirty-ball re-embed).", opts.Buckets)
+	t.embedRefreshed = reg.Counter("turbo_embedding_refreshed_rows_total",
+		"Embedding rows recomputed by incremental refreshes.")
+	// Default embed gauges: -1/0 until an embed engine re-registers them
+	// with live callbacks, so the series exist on every scrape.
+	reg.GaugeFunc("turbo_embedding_age_seconds",
+		"Seconds since the embedding table rows were built (-1 = no table).",
+		func() float64 { return -1 })
+	reg.GaugeFunc("turbo_embedding_dirty_rows",
+		"Embedding rows currently invalidated by edge deltas.",
+		func() float64 { return 0 })
+	reg.GaugeFunc("turbo_embedding_rows",
+		"Rows in the live embedding table (0 = no table).",
+		func() float64 { return 0 })
 
 	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if opts.Logger != nil {
@@ -466,6 +502,51 @@ func (t *Telemetry) ObserveSweep(elapsed time.Duration, nodes int, shards []time
 	for _, d := range shards {
 		t.sweepShardSeconds.ObserveDuration(d)
 	}
+}
+
+// EmbedServed counts one embedding-tier serve attempt by result label
+// ("hit", "dirty", "miss", "fallback").
+func (t *Telemetry) EmbedServed(result string) {
+	if t == nil {
+		return
+	}
+	switch result {
+	case "hit":
+		t.embedHit.Inc()
+	case "dirty":
+		t.embedDirty.Inc()
+	case "miss":
+		t.embedMiss.Inc()
+	case "fallback":
+		t.embedFallback.Inc()
+	default:
+		t.embedServe.With(result).Inc()
+	}
+}
+
+// ObserveEmbedRefresh records one incremental embedding refresh: wall
+// latency plus the number of rows recomputed.
+func (t *Telemetry) ObserveEmbedRefresh(elapsed time.Duration, rows int) {
+	if t == nil {
+		return
+	}
+	t.embedRefreshSec.ObserveDuration(elapsed)
+	t.embedRefreshed.Add(int64(rows))
+}
+
+// RegisterEmbedGauges re-registers the embedding-table gauges with live
+// callbacks: row age in seconds (-1 = no table), dirty-row count, and
+// table size. Re-registering replaces the boot-time defaults.
+func (t *Telemetry) RegisterEmbedGauges(age, dirtyRows, rows func() float64) {
+	if t == nil {
+		return
+	}
+	t.Registry.GaugeFunc("turbo_embedding_age_seconds",
+		"Seconds since the embedding table rows were built (-1 = no table).", age)
+	t.Registry.GaugeFunc("turbo_embedding_dirty_rows",
+		"Embedding rows currently invalidated by edge deltas.", dirtyRows)
+	t.Registry.GaugeFunc("turbo_embedding_rows",
+		"Rows in the live embedding table (0 = no table).", rows)
 }
 
 // RegisterSweepGauge registers turbo_sweep_inflight as a scrape-time

@@ -105,6 +105,20 @@ func TestMetricsEndpoint(t *testing.T) {
 		// is in flight while the registry renders).
 		"# TYPE turbo_ingest_lag_seconds gauge",
 		"# TYPE turbo_bn_build_lag_seconds gauge",
+		// Embedding tier: counters at zero (no engine installed on this
+		// stack) and the default gauges at their sentinels — the series
+		// must exist from boot so dashboards do not gap.
+		`turbo_embedding_serve_total{result="hit"} 0`,
+		`turbo_embedding_serve_total{result="dirty"} 0`,
+		`turbo_embedding_serve_total{result="miss"} 0`,
+		`turbo_embedding_serve_total{result="fallback"} 0`,
+		"# TYPE turbo_embedding_serve_total counter",
+		"turbo_embedding_age_seconds -1",
+		"turbo_embedding_dirty_rows 0",
+		"turbo_embedding_rows 0",
+		"# TYPE turbo_embedding_age_seconds gauge",
+		"# TYPE turbo_embedding_refresh_seconds histogram",
+		"turbo_embedding_refreshed_rows_total 0",
 		"turbo_admission_inflight 0",
 		"turbo_admission_capacity -1",
 		"turbo_admission_occupancy 0",

@@ -6,10 +6,13 @@
 # tensor kernel grid (matmul GFLOP/s per kernel tier and precision,
 # fused-vs-unfused CSR aggregate+transform, pool crossover, false
 # sharing) into BENCH_kernels.json, races the full-graph sweep against
-# the naive score-everyone loop into BENCH_sweep.json, and finally boots
-# a tiny turbo-server under the open-loop load harness, writing the
-# latency scoreboard to BENCH_load.json (p50/p99/p999 per endpoint,
-# offered vs achieved QPS).
+# the naive score-everyone loop into BENCH_sweep.json, races the lambda
+# embedding tier against the per-audit inference paths (plus the
+# refresh-sweep cost at several dirty fractions) into BENCH_embed.json,
+# and finally boots a tiny turbo-server under the open-loop load
+# harness, writing the latency scoreboard to BENCH_load.json
+# (p50/p99/p999 per endpoint, offered vs achieved QPS, per-tier serve
+# counts).
 #
 # Usage: scripts/bench.sh [benchtime] [sweep_benchtime] [load_qps] [load_duration]
 #        (defaults 200x / 5x / 150 / 5s)
@@ -108,6 +111,43 @@ END {
 }' "$SWEEP_RAW" > "$SWEEP_OUT"
 
 echo "wrote $SWEEP_OUT (speedup $(grep '"speedup"' "$SWEEP_OUT" | tr -dc '0-9.')x)"
+
+# --- Embedding tier vs per-audit inference -----------------------------------
+# The lambda tier's TryServe (star gather + final layer + head) against
+# the full per-audit path it replaces (2-hop sample + batch compile +
+# TargetInferer) and the tape-backed reference, plus the incremental
+# refresh sweep at 1/10/50% dirty fractions.
+EMBED_OUT="BENCH_embed.json"
+EMBED_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$SWEEP_RAW" "$EMBED_RAW"' EXIT
+
+echo "== go test -bench embed tier vs per-audit inference (benchtime=$BENCHTIME)"
+go test -run 'XXX-none' -bench 'BenchmarkEmbedServe|BenchmarkEmbedTargetInfer|BenchmarkEmbedTapeScore|BenchmarkEmbedRefresh' \
+    -benchtime "$BENCHTIME" ./internal/embed/ | tee "$EMBED_RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkEmbedServe[- \t]/           { embed = $3 }
+/^BenchmarkEmbedTargetInfer[- \t]/     { target = $3 }
+/^BenchmarkEmbedTapeScore[- \t]/       { tape = $3 }
+/^BenchmarkEmbedRefresh\/dirty-1pct/   { r1 = $3; rows1 = $5 }
+/^BenchmarkEmbedRefresh\/dirty-10pct/  { r10 = $3; rows10 = $5 }
+/^BenchmarkEmbedRefresh\/dirty-50pct/  { r50 = $3; rows50 = $5 }
+END {
+    if (embed == "" || target == "" || tape == "") { print "missing embed benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"embed_serve_ns_per_audit\": %s,\n", embed
+    printf "  \"target_infer_ns_per_audit\": %s,\n", target
+    printf "  \"tape_ns_per_audit\": %s,\n", tape
+    printf "  \"speedup_vs_target_infer\": %.2f,\n", target / embed
+    printf "  \"speedup_vs_tape\": %.2f,\n", tape / embed
+    printf "  \"refresh\": [\n"
+    printf "    {\"dirty_pct\": 1, \"ns_per_refresh\": %s, \"rows_per_refresh\": %s},\n", r1, rows1
+    printf "    {\"dirty_pct\": 10, \"ns_per_refresh\": %s, \"rows_per_refresh\": %s},\n", r10, rows10
+    printf "    {\"dirty_pct\": 50, \"ns_per_refresh\": %s, \"rows_per_refresh\": %s}\n", r50, rows50
+    printf "  ]\n}\n"
+}' "$EMBED_RAW" > "$EMBED_OUT"
+
+echo "wrote $EMBED_OUT (embed tier $(grep '"speedup_vs_target_infer"' "$EMBED_OUT" | tr -dc '0-9.')x faster than per-audit inference)"
 
 # --- Open-loop load scoreboard ----------------------------------------------
 LOAD_QPS="${3:-150}"

@@ -21,7 +21,7 @@ echo "== go vet"
 go vet ./...
 
 echo "== go test -race (graph / bn / resilience / server incl. chaos + crash recovery / telemetry incl. trace ring + log-bucketed histogram / tape-free infer / persist / full-graph sweep / model lifecycle)"
-go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/... ./internal/sweep/... ./internal/feature/... ./internal/lifecycle/... ./internal/tensor/... ./internal/autodiff/...
+go test -race ./internal/graph/... ./internal/bn/... ./internal/resilience/... ./internal/server/... ./internal/telemetry/... ./internal/gnn/... ./internal/hag/... ./internal/persist/... ./internal/sweep/... ./internal/embed/... ./internal/feature/... ./internal/lifecycle/... ./internal/tensor/... ./internal/autodiff/...
 
 echo "== kernel-equivalence smoke (blocked/SIMD matmul bitwise vs naive scalar, fused aggregate+transform bitwise vs unfused, f32 within tolerance of f64)"
 go test -run 'TestMatMulBlockedBitwiseEqualsNaive|TestMatMulPartitionIndependence|TestAggTransformFusedBitwise|TestAggTransformSplitFusedBitwise|TestInfer32MatchesFloat64|TestHAGInfer32MatchesFloat64' ./internal/tensor/ ./internal/autodiff/ ./internal/gnn/ ./internal/hag/
@@ -34,6 +34,9 @@ go test -race -run 'TestLoadgenSmoke|TestCoordinatedOmissionSafety' ./internal/l
 
 echo "== sweep-equivalence smoke (sharded layer-at-a-time sweep vs per-node gnn.Score, all models)"
 go test -race -run 'TestSweepMatchesPerNodeScore|TestSweepMatchesBatchScores|TestSweepSnapshotIsolation' ./internal/sweep/
+
+echo "== embedding-serving parity smoke (lambda tier vs full gnn.Score on every model variant; dirty always falls back; randomized invalidation property under -race)"
+go test -race -run 'TestEmbedServeParity|TestDirtyNeverServesStale|TestRandomizedDirtyPropagation|TestRebuildLogReplay' ./internal/embed/
 
 echo "== crash-recovery property test (random kill points, under -race)"
 go test -race -run 'TestRecoveryKillPoints|TestKillAndRestartRecoversExactState' ./internal/server/
@@ -48,7 +51,7 @@ echo "== /metrics exposition golden test"
 go test -run 'TestExpositionGolden|TestMetricsEndpoint' ./internal/telemetry/... ./internal/server/...
 
 echo "== benchmark smoke (compile + one iteration of each hot-path benchmark)"
-go test -run 'XXX-none' -bench . -benchtime 1x ./internal/gnn/ ./internal/hag/ ./internal/server/
+go test -run 'XXX-none' -bench . -benchtime 1x ./internal/gnn/ ./internal/hag/ ./internal/server/ ./internal/embed/
 
 echo "== go test (full tier-1)"
 go test ./...
